@@ -1,0 +1,154 @@
+// Command griffin-bench regenerates every table and figure of the paper's
+// evaluation (§4) and prints them as plain-text tables.
+//
+// Usage:
+//
+//	griffin-bench [-scale 0.2] [-seed 1] [-only table1,fig8,...]
+//
+// Scale 1.0 approximates the paper's data sizes (several minutes);
+// the default 0.2 finishes in about a minute. Absolute times are
+// simulated on the calibrated K20/Xeon hardware models; the reproduction
+// targets are the shapes (who wins, by what factor, where crossovers
+// fall), recorded against the paper in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"griffin/internal/experiments"
+	"griffin/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1.0 = full)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache")
+	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			exitOn(err)
+		}
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+	emit := func(t *experiments.Table) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, t.Slug()+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				exitOn(err)
+			}
+		}
+	}
+
+	fmt.Printf("griffin-bench: scale=%.2f seed=%d (simulated K20 + Xeon E5-2609v2 models)\n\n", *scale, *seed)
+	start := time.Now()
+
+	if run("table1") {
+		_, t, err := experiments.RunTable1(cfg)
+		exitOn(err)
+		emit(t)
+	}
+	if run("fig7") {
+		_, t, err := experiments.RunFig7(cfg)
+		exitOn(err)
+		emit(t)
+	}
+	if run("fig8") {
+		_, t, err := experiments.RunFig8(cfg)
+		exitOn(err)
+		emit(t)
+	}
+	if run("fig12") {
+		_, t, err := experiments.RunFig12(cfg)
+		exitOn(err)
+		emit(t)
+	}
+	if run("fig13") {
+		_, t, err := experiments.RunFig13(cfg)
+		exitOn(err)
+		emit(t)
+	}
+
+	needCorpus := run("fig10") || run("fig11") || run("fig14") || run("fig15") ||
+		run("ablation") || run("load") || run("cache")
+	if needCorpus {
+		fmt.Println("building end-to-end corpus...")
+		corpus, err := cfg.BuildCorpus()
+		exitOn(err)
+
+		var queries []workload.Query
+		if run("fig10") {
+			_, t, err := experiments.RunFig10(cfg, corpus)
+			exitOn(err)
+			emit(t)
+		}
+		if run("fig11") || run("fig14") || run("fig15") || run("ablation") {
+			_, t, qs, err := experiments.RunFig11(cfg, corpus)
+			exitOn(err)
+			queries = qs
+			if run("fig11") {
+				emit(t)
+			}
+		}
+		if run("fig14") || run("fig15") {
+			fmt.Printf("running %d queries under 4 engine modes...\n", len(queries))
+			res14, t14, err := experiments.RunFig14(cfg, corpus, queries)
+			exitOn(err)
+			if run("fig14") {
+				emit(t14)
+			}
+			if run("fig15") {
+				_, t15 := experiments.RunFig15(res14.CPURecorder, res14.GriffinRecorder)
+				emit(t15)
+			}
+		}
+		if run("ablation") {
+			_, ta, err := experiments.RunCrossoverAblation(cfg, corpus, queries)
+			exitOn(err)
+			emit(ta)
+			_, tm, err := experiments.RunMigrationAblation(cfg, corpus, queries)
+			exitOn(err)
+			emit(tm)
+			_, tp, err := experiments.RunPolicyAblation(cfg, corpus, queries)
+			exitOn(err)
+			emit(tp)
+		}
+		if run("load") {
+			_, tl, err := experiments.RunLoadStudy(cfg, corpus, queries)
+			exitOn(err)
+			emit(tl)
+		}
+		if run("cache") {
+			_, tc, err := experiments.RunCacheStudy(cfg, corpus, queries)
+			exitOn(err)
+			emit(tc)
+		}
+	}
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "griffin-bench:", err)
+		os.Exit(1)
+	}
+}

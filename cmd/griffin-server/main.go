@@ -1,0 +1,70 @@
+// Command griffin-server serves conjunctive search over a Griffin index
+// as a JSON HTTP API.
+//
+// Usage:
+//
+//	griffin-server -index index.grif -addr :8080 -mode griffin -cache
+//
+// Endpoints:
+//
+//	GET /search?q=terms&k=10   ranked results + simulated latency
+//	GET /healthz               liveness + index stats
+//	GET /statz                 served-query counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"griffin/internal/core"
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/server"
+)
+
+func main() {
+	indexPath := flag.String("index", "index.grif", "serialized index file")
+	addr := flag.String("addr", ":8080", "listen address")
+	modeName := flag.String("mode", "griffin", "execution mode: cpu, gpu, perquery, or griffin")
+	cache := flag.Bool("cache", false, "keep hot compressed lists resident in device memory")
+	topK := flag.Int("k", 10, "default result count")
+	flag.Parse()
+
+	modes := map[string]core.Mode{
+		"cpu": core.CPUOnly, "gpu": core.GPUOnly,
+		"perquery": core.PerQueryHybrid, "griffin": core.Hybrid,
+	}
+	mode, ok := modes[*modeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "griffin-server: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*indexPath)
+	exitOn(err)
+	ix, err := index.ReadIndex(f)
+	f.Close()
+	exitOn(err)
+
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	engine, err := core.New(ix, core.Config{
+		Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
+	})
+	exitOn(err)
+	defer engine.Close()
+
+	log.Printf("griffin-server: %d docs, %d terms, mode=%s, listening on %s",
+		ix.NumDocs, ix.NumTerms(), mode, *addr)
+	exitOn(http.ListenAndServe(*addr, server.New(engine)))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "griffin-server:", err)
+		os.Exit(1)
+	}
+}

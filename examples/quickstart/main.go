@@ -1,0 +1,52 @@
+// Quickstart: build a tiny index, run one conjunctive query under
+// Griffin's hybrid CPU/GPU scheduler, and print the ranked results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"griffin"
+)
+
+func main() {
+	// 1. Index a few documents.
+	b := griffin.NewIndexBuilder()
+	docs := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"a quick brown dog outpaces a lazy fox",
+		"graphics processors accelerate information retrieval systems",
+		"search engines intersect compressed posting lists",
+		"the fox hunts at dusk while the dog sleeps",
+	}
+	for i, text := range docs {
+		if err := b.AddDocument(uint32(i), griffin.Tokenize(text)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a hybrid engine over a simulated Tesla K20.
+	eng, err := griffin.NewEngine(ix, griffin.Config{
+		Mode:   griffin.Hybrid,
+		Device: griffin.NewDevice(),
+		TopK:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Search: conjunctive query, BM25-ranked results.
+	res, err := eng.Search([]string{"quick", "fox"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query [quick fox]: %d matching docs, %.3f ms simulated latency\n",
+		res.Stats.Candidates, float64(res.Stats.Latency.Microseconds())/1000)
+	for rank, d := range res.Docs {
+		fmt.Printf("  %d. doc %d (score %.4f): %s\n", rank+1, d.DocID, d.Score, docs[d.DocID])
+	}
+}

@@ -1,0 +1,76 @@
+// Tail latency: the paper's §4.5 case study. Interactive services live
+// and die by their tail percentiles; this example runs a query log under
+// the CPU-only baseline and under Griffin, then prints the latency
+// distribution side by side — the Figure 15 comparison, where the paper
+// measures speedups growing from 6.6x at P80 to 26.8x at P99.9 because
+// the heaviest queries (long lists, many terms) gain the most from the
+// GPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"griffin"
+	"griffin/internal/stats"
+)
+
+func main() {
+	fmt.Println("generating corpus and query log...")
+	corpus, err := griffin.GenerateCorpus(griffin.CorpusSpec{
+		NumDocs:    3_000_000,
+		NumTerms:   150,
+		MaxListLen: 1_500_000,
+		MinListLen: 1_000,
+		Alpha:      0.85,
+		Seed:       21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := griffin.GenerateQueryLog(corpus, griffin.QuerySpec{
+		NumQueries:      400,
+		PopularityAlpha: 0.5,
+		Seed:            22,
+	})
+
+	dev := griffin.NewDevice()
+	cpuEng, err := griffin.NewEngine(corpus.Index, griffin.Config{Mode: griffin.CPUOnly})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybEng, err := griffin.NewEngine(corpus.Index, griffin.Config{Mode: griffin.Hybrid, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cpuRec := stats.NewLatencyRecorder(len(queries))
+	hybRec := stats.NewLatencyRecorder(len(queries))
+	fmt.Printf("running %d queries under both engines...\n\n", len(queries))
+	for _, q := range queries {
+		rc, err := cpuEng.Search(q.Terms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rh, err := hybEng.Search(q.Terms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuRec.Record(rc.Stats.Latency)
+		hybRec.Record(rh.Stats.Latency)
+	}
+
+	fmt.Printf("%-11s %14s %14s %9s\n", "percentile", "CPU-only (ms)", "Griffin (ms)", "speedup")
+	for _, p := range []float64{50, 80, 90, 95, 99, 99.9} {
+		c, h := cpuRec.Percentile(p), hybRec.Percentile(p)
+		fmt.Printf("P%-10g %14.3f %14.3f %8.1fx\n",
+			p,
+			float64(c.Microseconds())/1000,
+			float64(h.Microseconds())/1000,
+			float64(c)/float64(h))
+	}
+	fmt.Printf("\nmean: CPU-only %.3f ms, Griffin %.3f ms (%.1fx)\n",
+		float64(cpuRec.Mean().Microseconds())/1000,
+		float64(hybRec.Mean().Microseconds())/1000,
+		float64(cpuRec.Mean())/float64(hybRec.Mean()))
+}

@@ -1,0 +1,3 @@
+module griffin
+
+go 1.22

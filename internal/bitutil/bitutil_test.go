@@ -1,0 +1,248 @@
+package bitutil
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewWriter(0)
+	type field struct {
+		v     uint64
+		width int
+	}
+	var fields []field
+	for i := 0; i < 10000; i++ {
+		width := rng.Intn(64) + 1
+		v := rng.Uint64() & ((1 << uint(width)) - 1)
+		if width == 64 {
+			v = rng.Uint64()
+		}
+		fields = append(fields, field{v, width})
+		w.WriteBits(v, width)
+	}
+	r := NewReader(w.Words())
+	for i, f := range fields {
+		got := r.ReadBits(f.width)
+		if got != f.v {
+			t.Fatalf("field %d: got %x want %x (width %d)", i, got, f.v, f.width)
+		}
+	}
+	if r.Pos() != w.Len() {
+		t.Fatalf("cursor %d != written %d", r.Pos(), w.Len())
+	}
+}
+
+func TestWriteBitsZeroWidth(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xff, 0)
+	if w.Len() != 0 {
+		t.Fatalf("zero-width write advanced cursor to %d", w.Len())
+	}
+	w.WriteBits(0b101, 3)
+	if w.Len() != 3 {
+		t.Fatalf("len = %d, want 3", w.Len())
+	}
+}
+
+func TestWriteBitsMasksExcess(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xffff, 4) // only low 4 bits should land
+	w.WriteBits(0, 4)
+	r := NewReader(w.Words())
+	if got := r.ReadBits(8); got != 0x0f {
+		t.Fatalf("got %x want 0x0f", got)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	vals := []int{0, 1, 2, 7, 63, 64, 65, 128, 1000}
+	w := NewWriter(0)
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Words())
+	for i, v := range vals {
+		if got := r.ReadUnary(); got != v {
+			t.Fatalf("unary %d: got %d want %d", i, got, v)
+		}
+	}
+}
+
+func TestUnaryMixedWithFields(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x2a, 7)
+	w.WriteUnary(70)
+	w.WriteBits(5, 3)
+	r := NewReader(w.Words())
+	if got := r.ReadBits(7); got != 0x2a {
+		t.Fatalf("field1 = %x", got)
+	}
+	if got := r.ReadUnary(); got != 70 {
+		t.Fatalf("unary = %d", got)
+	}
+	if got := r.ReadBits(3); got != 5 {
+		t.Fatalf("field2 = %d", got)
+	}
+}
+
+func TestGetBitsMatchesReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := NewWriter(0)
+	for i := 0; i < 100; i++ {
+		w.WriteBits(rng.Uint64(), 64)
+	}
+	words := w.Words()
+	for i := 0; i < 1000; i++ {
+		width := rng.Intn(64) + 1
+		p := rng.Intn(100*64 - width)
+		r := NewReader(words)
+		r.Seek(p)
+		want := r.ReadBits(width)
+		if got := GetBits(words, p, width); got != want {
+			t.Fatalf("GetBits(%d,%d) = %x, want %x", p, width, got, want)
+		}
+	}
+}
+
+func TestSelectInWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		w := rng.Uint64()
+		if w == 0 {
+			continue
+		}
+		pc := bits.OnesCount64(w)
+		k := rng.Intn(pc)
+		pos := SelectInWord(w, k)
+		// The k+1-th set bit: verify by counting.
+		if w&(1<<uint(pos)) == 0 {
+			t.Fatalf("select(%x,%d)=%d is not set", w, k, pos)
+		}
+		below := bits.OnesCount64(w & ((1 << uint(pos)) - 1))
+		if below != k {
+			t.Fatalf("select(%x,%d)=%d has %d ones below", w, k, pos, below)
+		}
+	}
+}
+
+func TestSelectInWordProperty(t *testing.T) {
+	f := func(w uint64, kRaw uint8) bool {
+		if w == 0 {
+			return true
+		}
+		k := int(kRaw) % bits.OnesCount64(w)
+		pos := SelectInWord(w, k)
+		return w&(1<<uint(pos)) != 0 &&
+			bits.OnesCount64(w&((1<<uint(pos))-1)) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	src := []int32{3, 0, 5, 2, 1}
+	dst := make([]int32, len(src))
+	total := PrefixSum(dst, src)
+	want := []int32{3, 3, 8, 10, 11}
+	if total != 11 {
+		t.Fatalf("total = %d", total)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestExclusivePrefixSum(t *testing.T) {
+	src := []int32{3, 0, 5, 2, 1}
+	dst := make([]int32, len(src))
+	total := ExclusivePrefixSum(dst, src)
+	want := []int32{0, 3, 3, 8, 10}
+	if total != 11 {
+		t.Fatalf("total = %d", total)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestPrefixSumAliasing(t *testing.T) {
+	s := []int32{1, 2, 3, 4}
+	PrefixSum(s, s)
+	want := []int32{1, 3, 6, 10}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("aliased prefix sum: s[%d]=%d want %d", i, s[i], want[i])
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {1 << 63, 64}}
+	for _, c := range cases {
+		if got := BitsFor(c.v); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2Floor(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}}
+	for _, c := range cases {
+		if got := Log2Floor(c.v); got != c.want {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}
+	for _, c := range cases {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(b.N * 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.WriteBits(uint64(i), 17)
+	}
+}
+
+func BenchmarkReadUnary(b *testing.B) {
+	w := NewWriter(0)
+	for i := 0; i < 4096; i++ {
+		w.WriteUnary(i % 7)
+	}
+	words := w.Words()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(words)
+		for j := 0; j < 4096; j++ {
+			r.ReadUnary()
+		}
+	}
+}
+
+func BenchmarkSelectInWord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SelectInWord(0xdeadbeefcafebabe, i%bits.OnesCount64(0xdeadbeefcafebabe))
+	}
+}

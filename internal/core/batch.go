@@ -1,0 +1,56 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query of a batch with its outcome.
+type BatchResult struct {
+	// Terms is the query as submitted.
+	Terms []string
+	// Result is the query outcome (nil iff Err != nil).
+	Result *Result
+	// Err is the per-query failure, if any.
+	Err error
+}
+
+// SearchBatch executes many queries concurrently across a bounded worker
+// pool and returns results in submission order. Engines are safe for
+// concurrent Search calls (the device allocator, counters, and list cache
+// are synchronized; each query gets its own stream), so batching is pure
+// throughput: wall-clock improves while each result's simulated latency
+// remains the per-query number the paper reports.
+//
+// workers <= 0 selects GOMAXPROCS.
+func (e *Engine) SearchBatch(queries [][]string, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]BatchResult, len(queries))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				res, err := e.Search(queries[i])
+				out[i] = BatchResult{Terms: queries[i], Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"griffin/internal/workload"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	c := testCorpus(t)
+	_, _, hybE := newEngines(t, c)
+	queries := workload.GenerateQueryLog(c, workload.QuerySpec{
+		NumQueries: 30, PopularityAlpha: 0.6, Seed: 18,
+	})
+	batch := make([][]string, len(queries))
+	for i, q := range queries {
+		batch[i] = q.Terms
+	}
+	results := hybE.SearchBatch(batch, 8)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(r.Terms, queries[i].Terms) {
+			t.Fatalf("query %d: order lost", i)
+		}
+		seq, err := hybE.Search(queries[i].Terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Stats.Candidates != seq.Stats.Candidates {
+			t.Fatalf("query %d: batch %d candidates vs sequential %d",
+				i, r.Result.Stats.Candidates, seq.Stats.Candidates)
+		}
+		if !reflect.DeepEqual(docIDsOf(r.Result), docIDsOf(seq)) {
+			t.Fatalf("query %d: batch top-k differs from sequential", i)
+		}
+	}
+}
+
+func TestSearchBatchEmptyAndWorkerClamping(t *testing.T) {
+	c := testCorpus(t)
+	cpuE, _, _ := newEngines(t, c)
+	if got := cpuE.SearchBatch(nil, 4); len(got) != 0 {
+		t.Fatal("empty batch produced results")
+	}
+	// More workers than queries must still produce all results.
+	batch := [][]string{{c.Terms[0]}, {c.Terms[1]}}
+	got := cpuE.SearchBatch(batch, 64)
+	if len(got) != 2 || got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("clamped batch wrong: %+v", got)
+	}
+	// workers <= 0 defaults to GOMAXPROCS.
+	got = cpuE.SearchBatch(batch, 0)
+	if len(got) != 2 {
+		t.Fatal("default-worker batch wrong")
+	}
+}

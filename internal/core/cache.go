@@ -1,0 +1,133 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"griffin/internal/gpu"
+)
+
+// listCache is an LRU cache of device-resident compressed posting lists,
+// keyed by term.
+//
+// Ao et al. [PVLDB'11] cache *all* inverted lists in device memory, which
+// the paper's §5 criticizes as "not practical or scalable ... given the
+// rapidly growing volume of data". The middle ground implemented here —
+// bounded LRU caching of hot compressed lists — eliminates the PCIe
+// upload for frequently queried terms while respecting the K20's 5 GB;
+// the cache ablation quantifies the trade-off.
+//
+// The cache is safe for concurrent use (the engine allows concurrent
+// Search calls) and reference-counts entries: a buffer evicted while an
+// in-flight query still reads it is only freed when the last reference is
+// released.
+type listCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	term string
+	buf  *gpu.Buffer
+	refs int
+	dead bool // evicted while referenced; free on last release
+}
+
+// newListCache returns a cache bounded to capacity bytes of device memory.
+func newListCache(capacity int64) *listCache {
+	return &listCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached device buffer for term plus a release function
+// the caller must invoke when done with the buffer (end of query).
+func (c *listCache) get(term string) (*gpu.Buffer, func(), bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[term]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	e.refs++
+	return e.buf, func() { c.release(e) }, true
+}
+
+// release drops one reference; a dead (evicted) entry frees its device
+// memory when the last reference goes.
+func (c *listCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.refs--
+	if e.dead && e.refs == 0 {
+		e.buf.Free()
+	}
+}
+
+// put inserts a device buffer under term, evicting least-recently-used
+// entries until the new entry fits. It returns a release function and
+// true on success; the caller must invoke the release when its own use of
+// the buffer ends. Entries larger than the whole capacity, or terms
+// already present (a concurrent query raced the upload), are rejected —
+// the caller keeps ownership of its buffer and frees it per-query.
+func (c *listCache) put(term string, buf *gpu.Buffer) (func(), bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if buf.Bytes > c.capacity {
+		return nil, false
+	}
+	if _, ok := c.entries[term]; ok {
+		return nil, false
+	}
+	for c.used+buf.Bytes > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.used -= victim.buf.Bytes
+		delete(c.entries, victim.term)
+		c.order.Remove(back)
+		if victim.refs > 0 {
+			victim.dead = true // freed on last release
+		} else {
+			victim.buf.Free()
+		}
+	}
+	e := &cacheEntry{term: term, buf: buf, refs: 1}
+	c.entries[term] = c.order.PushFront(e)
+	c.used += buf.Bytes
+	return func() { c.release(e) }, true
+}
+
+// drop removes every entry, freeing the unreferenced ones immediately and
+// marking in-use ones dead (used when shutting an engine down).
+func (c *listCache) drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.entries {
+		e := el.Value.(*cacheEntry)
+		if e.refs > 0 {
+			e.dead = true
+		} else {
+			e.buf.Free()
+		}
+	}
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.used = 0
+}
+
+// len returns the entry count.
+func (c *listCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

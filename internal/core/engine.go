@@ -1,0 +1,609 @@
+// Package core is the Griffin engine: the end-to-end conjunctive query
+// pipeline of §2.1 — posting-list lookup, SvS-ordered pairwise
+// intersections, BM25 scoring, top-k selection — executed under one of
+// three placements:
+//
+//   - CPUOnly: the highly optimized CPU baseline (§2.2), using block-wise
+//     merge or skip-pointer binary search per pair;
+//   - GPUOnly: Griffin-GPU (§3.1), running decompression (Para-EF) and
+//     intersection (MergePath or parallel binary search over skip
+//     pointers) on the simulated device;
+//   - Hybrid: Griffin proper (§3.2), scheduling each intersection to GPU
+//     or CPU by the length-ratio policy and migrating intermediate results
+//     from device to host when the query's characteristics shift.
+//
+// Per-query latency is simulated: CPU operations report work counts priced
+// by hwmodel.CPUModel, device operations accumulate on a gpu.Stream; the
+// two interleave on a single sequential timeline, matching how the paper's
+// prototype executes one query.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/intersect"
+	"griffin/internal/kernels"
+	"griffin/internal/rank"
+	"griffin/internal/sched"
+)
+
+// Mode selects the execution placement.
+type Mode int
+
+const (
+	// CPUOnly runs every stage on the host.
+	CPUOnly Mode = iota
+	// GPUOnly runs decompression and intersection on the device
+	// (Griffin-GPU standalone).
+	GPUOnly
+	// Hybrid is Griffin: dynamic per-operation scheduling with mid-query
+	// migration (the paper's Figure 1(d)).
+	Hybrid
+	// PerQueryHybrid is the static hybrid baseline of Figure 1(c) (Ding
+	// et al., WWW'09): the scheduler places the *whole* query on one
+	// processor — decided once from the two shortest lists' length ratio —
+	// and never revisits the choice as the query's characteristics change.
+	// The paper's §5 argues this is exactly what Griffin improves on.
+	PerQueryHybrid
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case CPUOnly:
+		return "cpu-only"
+	case GPUOnly:
+		return "gpu-only"
+	case PerQueryHybrid:
+		return "per-query-hybrid"
+	default:
+		return "griffin"
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode is the placement strategy.
+	Mode Mode
+	// Policy schedules Hybrid-mode intersections; nil means the paper's
+	// RatioPolicy (crossover 128, sticky migration).
+	Policy sched.Policy
+	// GPUCrossover is GPU-only mode's internal switch between MergePath
+	// and skip-pointer binary search (0 = 128; §3.1.2's "configurable
+	// parameter").
+	GPUCrossover float64
+	// CPUSkipThreshold is the CPU-side merge-vs-binary ratio switch
+	// (0 = intersect.DefaultSkipThreshold).
+	CPUSkipThreshold int
+	// TopK is the result count (0 = 10).
+	TopK int
+	// CPU prices host work; the zero value means hwmodel.DefaultCPU().
+	CPU hwmodel.CPUModel
+	// Device is the simulated GPU; required unless Mode == CPUOnly.
+	Device *gpu.Device
+	// BM25 are the scoring parameters; the zero value means defaults.
+	BM25 rank.BM25Params
+	// CacheLists keeps compressed posting lists resident in device memory
+	// (bounded LRU), eliminating repeat PCIe uploads for hot terms — the
+	// scalable middle ground between Griffin's upload-per-query prototype
+	// and Ao et al.'s cache-everything design the paper's §5 discusses.
+	CacheLists bool
+	// CacheBytes bounds the device cache (0 = 4 GB, leaving headroom of
+	// the K20's 5 GB for working buffers).
+	CacheBytes int64
+}
+
+// Engine executes queries against one index.
+type Engine struct {
+	ix     *index.Index
+	cfg    Config
+	scorer *rank.Scorer
+	cache  *listCache
+}
+
+// New builds an engine, validating that GPU modes have a device.
+func New(ix *index.Index, cfg Config) (*Engine, error) {
+	if cfg.Mode != CPUOnly && cfg.Device == nil {
+		return nil, fmt.Errorf("core: mode %v requires a device", cfg.Mode)
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.CPU == (hwmodel.CPUModel{}) {
+		cfg.CPU = hwmodel.DefaultCPU()
+	}
+	if cfg.BM25 == (rank.BM25Params{}) {
+		cfg.BM25 = rank.DefaultBM25()
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.NewRatioPolicy()
+	}
+	if cfg.GPUCrossover <= 0 {
+		cfg.GPUCrossover = sched.DefaultCrossover
+	}
+	if cfg.CPUSkipThreshold <= 0 {
+		cfg.CPUSkipThreshold = intersect.DefaultSkipThreshold
+	}
+	e := &Engine{ix: ix, cfg: cfg, scorer: rank.NewScorer(ix, cfg.BM25)}
+	if cfg.CacheLists {
+		if cfg.CacheBytes <= 0 {
+			cfg.CacheBytes = 4 << 30
+		}
+		e.cfg.CacheBytes = cfg.CacheBytes
+		e.cache = newListCache(cfg.CacheBytes)
+	}
+	return e, nil
+}
+
+// Close releases any device memory the engine holds (the list cache).
+// Engines without caching need no cleanup.
+func (e *Engine) Close() {
+	if e.cache != nil {
+		e.cache.drop()
+	}
+}
+
+// CachedLists returns the number of device-resident cached lists.
+func (e *Engine) CachedLists() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// Warmup preloads the given terms' compressed posting lists into the
+// device cache (no-op without CacheLists), so a service can pay the PCIe
+// uploads for its hottest terms before taking traffic. It returns the
+// number of lists now resident and the simulated upload time.
+func (e *Engine) Warmup(terms []string) (int, time.Duration, error) {
+	if e.cache == nil || e.cfg.Device == nil {
+		return 0, 0, nil
+	}
+	s := e.cfg.Device.NewStream()
+	loaded := 0
+	for _, term := range terms {
+		pl, ok := e.ix.Lookup(term)
+		if !ok {
+			continue
+		}
+		if _, release, ok := e.cache.get(pl.Term); ok {
+			release()
+			loaded++
+			continue
+		}
+		comp, err := kernels.UploadEF(s, pl.EF)
+		if err != nil {
+			return loaded, s.Elapsed(), err
+		}
+		if release, ok := e.cache.put(pl.Term, comp); ok {
+			release()
+			loaded++
+		} else {
+			comp.Free()
+		}
+	}
+	return loaded, s.Elapsed(), nil
+}
+
+// Index returns the engine's index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Mode returns the engine's placement mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// OpTrace records one intersection's placement and outcome — the
+// scheduler visibility the examples and experiments inspect.
+type OpTrace struct {
+	Stage    string
+	Where    sched.Processor
+	Ratio    float64
+	ShortLen int
+	LongLen  int
+	OutLen   int
+	Took     time.Duration
+}
+
+// QueryStats aggregates one query's simulated execution.
+type QueryStats struct {
+	// Latency is the end-to-end simulated response time.
+	Latency time.Duration
+	// CPUTime and GPUTime split the latency by processor.
+	CPUTime time.Duration
+	GPUTime time.Duration
+	// Migrated reports whether a Hybrid query moved from GPU to CPU.
+	Migrated bool
+	// Candidates is the final intersection size entering ranking.
+	Candidates int
+	// Ops traces each intersection.
+	Ops []OpTrace
+}
+
+// Result is a completed query.
+type Result struct {
+	// Docs are the top-k results, descending by score.
+	Docs []kernels.ScoredDoc
+	// Stats is the simulated execution record.
+	Stats QueryStats
+
+	candidates []uint32
+}
+
+// Search runs one conjunctive query and returns the top-k scored docs.
+// Terms missing from the index make the conjunction empty.
+func (e *Engine) Search(terms []string) (*Result, error) {
+	lists := make([]*index.PostingList, 0, len(terms))
+	for _, t := range terms {
+		pl, ok := e.ix.Lookup(t)
+		if !ok {
+			return &Result{}, nil
+		}
+		lists = append(lists, pl)
+	}
+	if len(lists) == 0 {
+		return &Result{}, nil
+	}
+
+	// SvS ordering: ascending by length (§2.1.2).
+	views := make([]index.BlockList, len(lists))
+	for i, pl := range lists {
+		views[i] = index.EFView{L: pl.EF}
+	}
+	order := intersect.OrderByLength(views)
+	ordered := make([]*index.PostingList, len(order))
+	for i, oi := range order {
+		ordered[i] = lists[oi]
+	}
+
+	var res *Result
+	var err error
+	switch e.cfg.Mode {
+	case CPUOnly:
+		res = e.searchCPU(ordered)
+	case GPUOnly:
+		res, err = e.searchGPU(ordered)
+	case PerQueryHybrid:
+		res, err = e.searchPerQuery(ordered)
+	default:
+		res, err = e.searchHybrid(ordered)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e.rankOnCPU(res, lists)
+	res.Stats.Latency = res.Stats.CPUTime + res.Stats.GPUTime
+	return res, nil
+}
+
+// trace appends an op record.
+func (r *Result) trace(where sched.Processor, ratio float64, shortLen, longLen, outLen int, took time.Duration) {
+	r.Stats.Ops = append(r.Stats.Ops, OpTrace{
+		Stage:    fmt.Sprintf("intersect#%d", len(r.Stats.Ops)),
+		Where:    where,
+		Ratio:    ratio,
+		ShortLen: shortLen,
+		LongLen:  longLen,
+		OutLen:   outLen,
+		Took:     took,
+	})
+}
+
+// cpuPair runs one CPU intersection and books its time.
+func (e *Engine) cpuPair(res *Result, short, long index.BlockList) []uint32 {
+	step := intersect.Pair(short, long, e.cfg.CPUSkipThreshold)
+	took := e.cfg.CPU.Time(step.Work)
+	res.Stats.CPUTime += took
+	res.trace(sched.CPU, sched.Ratio(min(short.Len(), long.Len()), max(short.Len(), long.Len())),
+		min(short.Len(), long.Len()), max(short.Len(), long.Len()), len(step.IDs), took)
+	return step.IDs
+}
+
+// searchCPU is the CPU-only baseline path: SvS with per-pair merge/skip
+// choice, everything decoded on the host.
+func (e *Engine) searchCPU(ordered []*index.PostingList) *Result {
+	res := &Result{}
+	if len(ordered) == 1 {
+		step := intersect.SvS([]index.BlockList{index.EFView{L: ordered[0].EF}}, e.cfg.CPUSkipThreshold)
+		took := e.cfg.CPU.Time(step.Work)
+		res.Stats.CPUTime += took
+		res.trace(sched.CPU, 1, ordered[0].N, ordered[0].N, len(step.IDs), took)
+		res.candidates = step.IDs
+		res.Stats.Candidates = len(step.IDs)
+		return res
+	}
+	cur := e.cpuPair(res, index.EFView{L: ordered[0].EF}, index.EFView{L: ordered[1].EF})
+	for _, pl := range ordered[2:] {
+		if len(cur) == 0 {
+			break
+		}
+		cur = e.cpuPair(res, index.RawView{IDs: cur}, index.EFView{L: pl.EF})
+	}
+	res.candidates = cur
+	res.Stats.Candidates = len(cur)
+	return res
+}
+
+// deviceState tracks GPU-resident data during a query.
+type deviceState struct {
+	stream   *gpu.Stream
+	bufs     []*gpu.Buffer // everything to free at query end
+	releases []func()      // cache references to drop at query end
+	last     time.Duration // last observed stream clock, for GPU time deltas
+}
+
+func (ds *deviceState) track(b *gpu.Buffer) *gpu.Buffer {
+	ds.bufs = append(ds.bufs, b)
+	return b
+}
+
+func (ds *deviceState) freeAll() {
+	for _, b := range ds.bufs {
+		b.Free()
+	}
+	ds.bufs = nil
+	for _, rel := range ds.releases {
+		rel()
+	}
+	ds.releases = nil
+}
+
+// delta returns the stream time consumed since the previous call.
+func (ds *deviceState) delta() time.Duration {
+	now := ds.stream.Elapsed()
+	d := now - ds.last
+	ds.last = now
+	return d
+}
+
+// uploadCompressed moves a posting list's compressed form onto the device,
+// consulting the resident cache first. Cached buffers stay alive across
+// queries and are not tracked for end-of-query freeing.
+func (e *Engine) uploadCompressed(ds *deviceState, pl *index.PostingList) (*gpu.Buffer, error) {
+	if e.cache != nil {
+		if buf, release, ok := e.cache.get(pl.Term); ok {
+			ds.releases = append(ds.releases, release)
+			return buf, nil // already resident: no PCIe transfer
+		}
+	}
+	comp, err := kernels.UploadEF(ds.stream, pl.EF)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		if release, ok := e.cache.put(pl.Term, comp); ok {
+			ds.releases = append(ds.releases, release)
+			return comp, nil
+		}
+	}
+	return ds.track(comp), nil
+}
+
+// uploadDecompressed uploads a posting list compressed and decompresses it
+// on the device with Para-EF, returning the decompressed buffer.
+func (e *Engine) uploadDecompressed(ds *deviceState, pl *index.PostingList) (*gpu.Buffer, error) {
+	comp, err := e.uploadCompressed(ds, pl)
+	if err != nil {
+		return nil, err
+	}
+	dec, _, err := kernels.ParaEFDecompress(ds.stream, comp)
+	if err != nil {
+		return nil, err
+	}
+	return ds.track(dec), nil
+}
+
+// searchGPU is Griffin-GPU standalone: every intersection on the device.
+// Per §3.1.2 it still adapts internally: MergePath below the crossover
+// ratio, parallel binary search over skip pointers above it.
+func (e *Engine) searchGPU(ordered []*index.PostingList) (*Result, error) {
+	res := &Result{}
+	ds := &deviceState{stream: e.cfg.Device.NewStream()}
+	defer ds.freeAll()
+
+	if len(ordered) == 1 {
+		dec, err := e.uploadDecompressed(ds, ordered[0])
+		if err != nil {
+			return nil, err
+		}
+		ids := ds.stream.D2H(dec, int64(ordered[0].N)*4).([]uint32)
+		took := ds.delta()
+		res.Stats.GPUTime += took
+		res.trace(sched.GPU, 1, ordered[0].N, ordered[0].N, len(ids), took)
+		res.candidates = ids
+		res.Stats.Candidates = len(ids)
+		return res, nil
+	}
+
+	// First pair.
+	a, b := ordered[0], ordered[1]
+	cur, err := e.gpuPair(res, ds, nil, a, b)
+	if err != nil {
+		return nil, err
+	}
+	// Fold in the remaining lists.
+	for _, pl := range ordered[2:] {
+		if cur.Count == 0 {
+			break
+		}
+		cur, err = e.gpuPair(res, ds, cur, nil, pl)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ids := []uint32{}
+	if cur.Count > 0 {
+		ids = ds.stream.D2H(cur.Out, int64(cur.Count)*4).([]uint32)[:cur.Count]
+		res.Stats.GPUTime += ds.delta()
+	}
+	res.candidates = ids
+	res.Stats.Candidates = len(ids)
+	return res, nil
+}
+
+// gpuPair intersects on the device. Exactly one of (prev) or (a) is set as
+// the short operand source: prev is an earlier device-resident result; a
+// is a posting list to decompress. b is the longer posting list.
+func (e *Engine) gpuPair(res *Result, ds *deviceState, prev *kernels.IntersectResult, a, b *index.PostingList) (*kernels.IntersectResult, error) {
+	var shortBuf *gpu.Buffer
+	var shortLen int
+	if prev != nil {
+		// Trim the buffer view to the match count for downstream kernels.
+		shortBuf = prev.Out
+		shortBuf.Data = prev.Matches()
+		shortLen = prev.Count
+	} else {
+		dec, err := e.uploadDecompressed(ds, a)
+		if err != nil {
+			return nil, err
+		}
+		shortBuf = dec
+		shortLen = a.N
+	}
+
+	ratio := sched.Ratio(shortLen, b.N)
+	var out *kernels.IntersectResult
+	var err error
+	if ratio < e.cfg.GPUCrossover {
+		longDec, derr := e.uploadDecompressed(ds, b)
+		if derr != nil {
+			return nil, derr
+		}
+		out, err = kernels.IntersectMergePath(ds.stream, shortBuf, longDec)
+	} else {
+		comp, derr := kernels.UploadEF(ds.stream, b.EF)
+		if derr != nil {
+			return nil, derr
+		}
+		ds.track(comp)
+		out, err = kernels.IntersectBinarySkips(ds.stream, shortBuf, comp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ds.track(out.Out)
+	took := ds.delta()
+	res.Stats.GPUTime += took
+	res.trace(sched.GPU, ratio, shortLen, b.N, out.Count, took)
+	return out, nil
+}
+
+// searchPerQuery is the Figure 1(c) baseline: one placement decision for
+// the entire query, made from the two shortest lists' ratio exactly like
+// Griffin's first decision, but never reconsidered — if the early stages
+// fit the GPU, the late skewed intersections are stuck there too.
+func (e *Engine) searchPerQuery(ordered []*index.PostingList) (*Result, error) {
+	if len(ordered) == 1 {
+		return e.searchCPU(ordered), nil
+	}
+	policy := e.cfg.Policy.Fresh()
+	if d := policy.Decide(ordered[0].N, ordered[1].N); d.Where == sched.GPU {
+		return e.searchGPU(ordered)
+	}
+	return e.searchCPU(ordered), nil
+}
+
+// searchHybrid is Griffin: before each intersection the policy places the
+// operation; the intermediate result migrates D2H (billed at PCIe cost)
+// the first time execution moves to the CPU.
+func (e *Engine) searchHybrid(ordered []*index.PostingList) (*Result, error) {
+	res := &Result{}
+	policy := e.cfg.Policy.Fresh()
+	ds := &deviceState{stream: e.cfg.Device.NewStream()}
+	defer ds.freeAll()
+
+	if len(ordered) == 1 {
+		// Single-term query: no intersection to schedule; decode on CPU
+		// (tiny fixed work, no transfer).
+		return e.searchCPU(ordered), nil
+	}
+
+	var hostIDs []uint32                // intermediate when on host
+	var devRes *kernels.IntersectResult // intermediate when on device
+	onDevice := false
+
+	for i := 1; i < len(ordered); i++ {
+		long := ordered[i]
+		var shortLen int
+		if i == 1 {
+			shortLen = ordered[0].N
+		} else if onDevice {
+			shortLen = devRes.Count
+		} else {
+			shortLen = len(hostIDs)
+		}
+		if shortLen == 0 {
+			break
+		}
+
+		d := policy.Decide(shortLen, long.N)
+		if d.Where == sched.GPU {
+			var err error
+			if i == 1 {
+				devRes, err = e.gpuPair(res, ds, nil, ordered[0], long)
+			} else if onDevice {
+				devRes, err = e.gpuPair(res, ds, devRes, nil, long)
+			} else {
+				// Intermediate on host (can happen with non-sticky
+				// policies): upload it raw.
+				buf, herr := ds.stream.H2D(hostIDs, int64(len(hostIDs))*4)
+				if herr != nil {
+					return nil, herr
+				}
+				ds.track(buf)
+				prev := &kernels.IntersectResult{Out: buf, Count: len(hostIDs)}
+				devRes, err = e.gpuPair(res, ds, prev, nil, long)
+			}
+			if err != nil {
+				return nil, err
+			}
+			onDevice = true
+			continue
+		}
+
+		// CPU placement: migrate the intermediate off the device first.
+		if onDevice {
+			hostIDs = ds.stream.D2H(devRes.Out, int64(devRes.Count)*4).([]uint32)[:devRes.Count]
+			res.Stats.GPUTime += ds.delta()
+			res.Stats.Migrated = true
+			onDevice = false
+		}
+		var short index.BlockList
+		if i == 1 {
+			short = index.EFView{L: ordered[0].EF}
+		} else {
+			short = index.RawView{IDs: hostIDs}
+		}
+		hostIDs = e.cpuPair(res, short, index.EFView{L: long.EF})
+	}
+
+	if onDevice {
+		// Query finished on the device: bring the final result home.
+		hostIDs = []uint32{}
+		if devRes.Count > 0 {
+			hostIDs = ds.stream.D2H(devRes.Out, int64(devRes.Count)*4).([]uint32)[:devRes.Count]
+		}
+		res.Stats.GPUTime += ds.delta()
+	}
+	res.candidates = hostIDs
+	res.Stats.Candidates = len(hostIDs)
+	return res, nil
+}
+
+// rankOnCPU scores the surviving candidates with BM25 and selects the
+// top-k with the CPU partial sort (the Figure-7-justified choice).
+func (e *Engine) rankOnCPU(res *Result, lists []*index.PostingList) {
+	if len(res.candidates) == 0 {
+		res.Docs = nil
+		return
+	}
+	scored, work := e.scorer.ScoreCandidates(lists, res.candidates)
+	top, tkWork := rank.TopKCPU(scored, e.cfg.TopK)
+	work.Add(tkWork)
+	res.Stats.CPUTime += e.cfg.CPU.Time(work)
+	res.Docs = top
+}

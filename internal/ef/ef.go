@@ -1,0 +1,189 @@
+// Package ef implements Elias-Fano encoding of monotone integer sequences
+// (Elias 1974; Vigna's quasi-succinct indices, WSDM 2013), the codec
+// Griffin-GPU adopts for its parallel decompression path.
+//
+// For a sequence of n non-decreasing integers with upper bound U, each
+// value is split into b = floor(log2(U/n)) low bits, stored contiguously in
+// the low-bits array, and the remaining high bits, stored as unary-coded
+// d-gaps in the high-bits array (Figure 4 of the paper). Total space is
+// close to the information-theoretic optimum, and decompression of element
+// i needs only a select operation on the high-bits array plus one low-bits
+// fetch — independent per element, which is what makes the scheme
+// parallelizable on the (simulated) GPU.
+//
+// Like the PForDelta baseline, lists are partitioned into fixed 128-element
+// blocks ("fixed-length partitioned EF", §3.1.1) so skip pointers can
+// address and decompress blocks independently.
+package ef
+
+import (
+	"errors"
+	"fmt"
+
+	"griffin/internal/bitutil"
+)
+
+// BlockSize is the number of docIDs per partitioned-EF block.
+const BlockSize = 128
+
+// ErrNotAscending is returned when input docIDs are not strictly ascending.
+var ErrNotAscending = errors.New("ef: docIDs not strictly ascending")
+
+// Block is one Elias-Fano-encoded block of up to BlockSize docIDs.
+//
+// Values are encoded relative to FirstDocID (the block's first value):
+// element i stores v_i = docID_i - FirstDocID, so v_0 = 0 and the local
+// universe is LastDocID - FirstDocID.
+type Block struct {
+	// FirstDocID is the first docID in the block, stored uncompressed.
+	FirstDocID uint32
+	// N is the number of encoded values.
+	N int
+	// B is the number of low bits per element.
+	B int
+	// HighBits is the unary-coded high-bits array: for each element a run
+	// of zeros (the d-gap of its high part) terminated by a one. It
+	// contains exactly N one-bits.
+	HighBits []uint64
+	// HighLen is the length of HighBits in bits.
+	HighLen int
+	// LowBits stores N contiguous B-bit low parts.
+	LowBits []uint64
+}
+
+// List is a partitioned Elias-Fano compressed posting list.
+type List struct {
+	// N is the total number of docIDs.
+	N int
+	// Blocks are the encoded blocks in docID order.
+	Blocks []Block
+}
+
+// Compress encodes a strictly ascending docID list.
+func Compress(docIDs []uint32) (*List, error) {
+	for i := 1; i < len(docIDs); i++ {
+		if docIDs[i] <= docIDs[i-1] {
+			return nil, fmt.Errorf("%w: ids[%d]=%d ids[%d]=%d",
+				ErrNotAscending, i-1, docIDs[i-1], i, docIDs[i])
+		}
+	}
+	l := &List{N: len(docIDs)}
+	for start := 0; start < len(docIDs); start += BlockSize {
+		end := start + BlockSize
+		if end > len(docIDs) {
+			end = len(docIDs)
+		}
+		l.Blocks = append(l.Blocks, compressBlock(docIDs[start:end]))
+	}
+	return l, nil
+}
+
+func compressBlock(ids []uint32) Block {
+	n := len(ids)
+	first := ids[0]
+	u := uint64(ids[n-1] - first) // local universe (v_{n-1})
+	// b = floor(log2(U/n)) per the paper; 0 when U < n (dense runs).
+	b := 0
+	if u/uint64(n) >= 1 {
+		b = bitutil.Log2Floor(u / uint64(n))
+	}
+
+	low := bitutil.NewWriter(n * b)
+	high := bitutil.NewWriter(2 * n)
+	prevHigh := uint64(0)
+	for _, id := range ids {
+		v := uint64(id - first)
+		low.WriteBits(v, b) // no-op when b == 0
+		h := v >> uint(b)
+		high.WriteUnary(int(h - prevHigh))
+		prevHigh = h
+	}
+	return Block{
+		FirstDocID: first,
+		N:          n,
+		B:          b,
+		HighBits:   high.Words(),
+		HighLen:    high.Len(),
+		LowBits:    low.Words(),
+	}
+}
+
+// DecompressInto decodes the block's docIDs into dst, which must have
+// capacity for Block.N values, and returns the count. This is the serial
+// CPU decode: scan the unary high-bits array accumulating zero-counts,
+// concatenating each recovered high part with its low bits.
+func (b *Block) DecompressInto(dst []uint32) int {
+	r := bitutil.NewReader(b.HighBits)
+	var high uint64
+	lowPos := 0
+	for i := 0; i < b.N; i++ {
+		high += uint64(r.ReadUnary())
+		var low uint64
+		if b.B > 0 {
+			low = bitutil.GetBits(b.LowBits, lowPos, b.B)
+			lowPos += b.B
+		}
+		dst[i] = b.FirstDocID + uint32(high<<uint(b.B)|low)
+	}
+	return b.N
+}
+
+// Get returns the i-th docID of the block (0-based) using select on the
+// high-bits array — the random-access path skip-pointer searches use.
+func (b *Block) Get(i int) uint32 {
+	// Select the (i+1)-th one-bit in HighBits.
+	seen := 0
+	for wi, w := range b.HighBits {
+		pc := bitutil.Popcount(w)
+		if seen+pc > i {
+			pos := wi*bitutil.WordBits + bitutil.SelectInWord(w, i-seen)
+			high := uint64(pos - i) // zeros before the element's one-bit
+			var low uint64
+			if b.B > 0 {
+				low = bitutil.GetBits(b.LowBits, i*b.B, b.B)
+			}
+			return b.FirstDocID + uint32(high<<uint(b.B)|low)
+		}
+		seen += pc
+	}
+	panic("ef: Get index out of range")
+}
+
+// Decompress decodes the whole list into a fresh slice of docIDs.
+func (l *List) Decompress() []uint32 {
+	out := make([]uint32, 0, l.N)
+	buf := make([]uint32, BlockSize)
+	for i := range l.Blocks {
+		n := l.Blocks[i].DecompressInto(buf)
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// CompressedBits returns the total compressed size in bits: high-bits
+// array, low-bits array, and the per-block header (first docID 32b,
+// count 8b, width 6b).
+func (l *List) CompressedBits() int64 {
+	var bits int64
+	for i := range l.Blocks {
+		b := &l.Blocks[i]
+		bits += int64(b.HighLen) + int64(b.N*b.B) + blockHeaderBits
+	}
+	return bits
+}
+
+const blockHeaderBits = 32 + 8 + 6
+
+// Ratio returns the compression ratio relative to raw 32-bit docIDs.
+func (l *List) Ratio() float64 {
+	if l.N == 0 {
+		return 0
+	}
+	return float64(int64(l.N)*32) / float64(l.CompressedBits())
+}
+
+// CompressedBytes returns the compressed size in bytes, rounded up; this is
+// what the scheduler charges for PCIe transfer of a compressed list.
+func (l *List) CompressedBytes() int64 {
+	return (l.CompressedBits() + 7) / 8
+}

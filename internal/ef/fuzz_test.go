@@ -1,0 +1,41 @@
+package ef
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzRoundTrip feeds arbitrary gap bytes through compress/decompress and
+// checks the identity, plus random-access agreement. Run with
+// `go test -fuzz=FuzzRoundTrip ./internal/ef/` for continuous fuzzing;
+// the seed corpus runs as a normal test.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 1})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, gapBytes []byte) {
+		if len(gapBytes) == 0 || len(gapBytes) > 4096 {
+			return
+		}
+		ids := make([]uint32, len(gapBytes))
+		cur := uint32(0)
+		for i, g := range gapBytes {
+			cur += uint32(g) + 1
+			ids[i] = cur
+		}
+		l, err := Compress(ids)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		got := l.Decompress()
+		if !reflect.DeepEqual(got, ids) {
+			t.Fatalf("round trip mismatch: %v vs %v", got, ids)
+		}
+		for i := 0; i < len(ids); i += 1 + len(ids)/13 {
+			if v := l.Blocks[i/BlockSize].Get(i % BlockSize); v != ids[i] {
+				t.Fatalf("Get(%d) = %d, want %d", i, v, ids[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,340 @@
+// Package gpu is a functional simulator of a SIMT co-processor in the
+// style of the NVIDIA Tesla K20 the paper evaluates on (§4.1).
+//
+// The simulator has two halves:
+//
+//   - A *functional* half that really executes kernels, in parallel, on the
+//     host: a kernel is launched over a grid of thread blocks, each block
+//     owns shared memory, and execution proceeds in phases separated by
+//     barriers (the structured analogue of __syncthreads). Blocks run
+//     concurrently on a goroutine worker pool, so partitioning or barrier
+//     bugs in the kernels fail for real.
+//
+//   - A *timing* half that never looks at wall-clock time: kernels report
+//     hardware counters (ops, global/shared traffic, divergent ops,
+//     uncoalesced bytes) through their thread contexts, and the
+//     hwmodel.GPUModel converts those counters plus the launch geometry
+//     into a simulated duration, which accumulates on the Stream the
+//     launch was issued to.
+//
+// Device memory is explicit: data reaches the device through H2D, leaves
+// through D2H, both charged at modeled PCIe cost, and the 5 GB capacity of
+// the K20 is enforced — exactly the overheads the Griffin scheduler weighs
+// when it decides where a query operation should run.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"griffin/internal/hwmodel"
+)
+
+// ErrOutOfMemory is returned when an allocation would exceed device memory.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// Device is a simulated GPU.
+type Device struct {
+	model hwmodel.GPUModel
+
+	mu        sync.Mutex
+	allocated int64
+
+	workers int
+
+	// launches counts kernel launches since device creation (telemetry).
+	launches atomic.Int64
+}
+
+// New returns a device governed by the given timing model. workers sets the
+// host parallelism used to execute blocks; 0 means GOMAXPROCS.
+func New(model hwmodel.GPUModel, workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Device{model: model, workers: workers}
+}
+
+// Model returns the device's timing model.
+func (d *Device) Model() *hwmodel.GPUModel { return &d.model }
+
+// Allocated returns the currently allocated device memory in bytes.
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated
+}
+
+// Launches returns the number of kernel launches issued so far.
+func (d *Device) Launches() int64 { return d.launches.Load() }
+
+// Stream is an in-order queue of device operations; its Elapsed clock
+// accumulates the simulated cost of every operation issued to it. Each
+// query gets its own stream so per-query latency is the stream's elapsed
+// simulated time.
+type Stream struct {
+	dev     *Device
+	elapsed time.Duration
+
+	profiling bool
+	events    []ProfileEvent
+}
+
+// NewStream returns a fresh stream with a zeroed simulated clock.
+func (d *Device) NewStream() *Stream { return &Stream{dev: d} }
+
+// Elapsed returns the simulated time consumed by operations on the stream.
+func (s *Stream) Elapsed() time.Duration { return s.elapsed }
+
+// AddTime advances the stream clock by d; used by callers to account
+// host-side work that interleaves with device operations.
+func (s *Stream) AddTime(d time.Duration) { s.elapsed += d }
+
+// Buffer is a device-memory allocation. Data holds the real payload for
+// functional execution; Bytes is the simulated footprint used for memory
+// accounting and transfer cost.
+type Buffer struct {
+	dev   *Device
+	Bytes int64
+	Data  any
+	freed bool
+}
+
+// Alloc reserves bytes of device memory on the stream, charging modeled
+// allocation time. The payload starts nil; kernels or copies fill it.
+func (s *Stream) Alloc(bytes int64) (*Buffer, error) {
+	d := s.dev
+	d.mu.Lock()
+	if d.allocated+bytes > d.model.MemoryBytes {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d + %d > %d", ErrOutOfMemory, d.allocated, bytes, d.model.MemoryBytes)
+	}
+	d.allocated += bytes
+	d.mu.Unlock()
+	took := d.model.AllocTime(bytes)
+	s.record("alloc", "", bytes, s.elapsed, took)
+	s.elapsed += took
+	return &Buffer{dev: d, Bytes: bytes}, nil
+}
+
+// H2D copies host data to a fresh device buffer, charging allocation plus
+// PCIe transfer for bytes.
+func (s *Stream) H2D(data any, bytes int64) (*Buffer, error) {
+	b, err := s.Alloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	b.Data = data
+	took := s.dev.model.TransferTime(bytes)
+	s.record("h2d", "", bytes, s.elapsed, took)
+	s.elapsed += took
+	return b, nil
+}
+
+// D2H copies a device buffer's payload back to the host, charging PCIe
+// transfer for bytes (callers pass the actually-transferred size, which may
+// be smaller than the allocation, e.g. a compacted result).
+func (s *Stream) D2H(b *Buffer, bytes int64) any {
+	took := s.dev.model.TransferTime(bytes)
+	s.record("d2h", "", bytes, s.elapsed, took)
+	s.elapsed += took
+	return b.Data
+}
+
+// Free releases the buffer's device memory. Freeing twice is a no-op.
+func (b *Buffer) Free() {
+	if b == nil || b.freed {
+		return
+	}
+	b.freed = true
+	b.dev.mu.Lock()
+	b.dev.allocated -= b.Bytes
+	b.dev.mu.Unlock()
+	b.Data = nil
+}
+
+// Kernel describes one launch: a grid of Grid blocks of Block threads,
+// executing Phases in order with an implicit device-wide barrier between
+// consecutive phases. MakeShared, if non-nil, allocates each block's
+// shared-memory state before phase 0; SharedBytes is its modeled size.
+type Kernel struct {
+	Name        string
+	Grid        int
+	Block       int
+	SharedBytes int
+	MakeShared  func(block int) any
+	Phases      []Phase
+}
+
+// Phase is one barrier-delimited stage of a kernel, invoked once per
+// thread. Threads within a phase must not communicate; cross-thread
+// communication happens across the barrier between phases — the structured
+// discipline that makes the functional execution race-free by construction
+// when kernels follow it (and detectably racy under -race when they do
+// not, since blocks and phase-thread chunks really run concurrently).
+type Phase func(c *Ctx)
+
+// Ctx is the per-thread execution context, carrying thread coordinates and
+// the counter sinks.
+type Ctx struct {
+	// Block and Thread are the block index and intra-block thread index.
+	Block, Thread int
+	// Grid and BlockDim mirror the launch geometry.
+	Grid, BlockDim int
+	// Shared is the block's shared-memory state (MakeShared's result).
+	Shared any
+
+	stats *blockStats
+}
+
+// GlobalID returns the flattened global thread id.
+func (c *Ctx) GlobalID() int { return c.Block*c.BlockDim + c.Thread }
+
+// blockStats accumulates counters for one block without atomics; merged
+// into the launch totals after the block finishes.
+type blockStats struct {
+	ops, globalRead, globalWrite, shared, divergent, dependent, uncoalesced int64
+}
+
+// Op records n simple arithmetic/logic operations.
+func (c *Ctx) Op(n int) { c.stats.ops += int64(n) }
+
+// DivergentOp records n operations executed under warp divergence (charged
+// with warp serialization by the model).
+func (c *Ctx) DivergentOp(n int) { c.stats.divergent += int64(n) }
+
+// DependentOp records n operations in a single-lane dependent chain (a
+// pointer chase or serial scan): charged with full warp serialization plus
+// a latency-stall multiplier, the cost that punishes direct ports of
+// sequential CPU algorithms.
+func (c *Ctx) DependentOp(n int) { c.stats.dependent += int64(n) }
+
+// GlobalRead records n bytes of coalesced global-memory reads.
+func (c *Ctx) GlobalRead(n int) { c.stats.globalRead += int64(n) }
+
+// GlobalWrite records n bytes of coalesced global-memory writes.
+func (c *Ctx) GlobalWrite(n int) { c.stats.globalWrite += int64(n) }
+
+// UncoalescedRead records n bytes of scattered global reads (counted in
+// both the global and uncoalesced totals).
+func (c *Ctx) UncoalescedRead(n int) {
+	c.stats.globalRead += int64(n)
+	c.stats.uncoalesced += int64(n)
+}
+
+// UncoalescedWrite records n bytes of scattered global writes (counted in
+// both the global and uncoalesced totals).
+func (c *Ctx) UncoalescedWrite(n int) {
+	c.stats.globalWrite += int64(n)
+	c.stats.uncoalesced += int64(n)
+}
+
+// SharedAccess records n bytes of shared-memory traffic.
+func (c *Ctx) SharedAccess(n int) { c.stats.shared += int64(n) }
+
+// Launch executes the kernel functionally and charges its modeled time to
+// the stream. It returns the counters for inspection by tests and the
+// experiments harness.
+func (s *Stream) Launch(k *Kernel) *hwmodel.LaunchStats {
+	d := s.dev
+	d.launches.Add(1)
+
+	total := &hwmodel.LaunchStats{
+		Blocks:          k.Grid,
+		ThreadsPerBlock: k.Block,
+		Phases:          len(k.Phases),
+	}
+
+	shared := make([]any, k.Grid)
+	if k.MakeShared != nil {
+		for b := range shared {
+			shared[b] = k.MakeShared(b)
+		}
+	}
+
+	var mu sync.Mutex
+	for _, phase := range k.Phases {
+		// Device-wide barrier between phases: complete the parallel-for
+		// over all blocks before starting the next phase.
+		parallelFor(k.Grid, d.workers, func(b int) {
+			st := &blockStats{}
+			ctx := Ctx{Block: b, Grid: k.Grid, BlockDim: k.Block, Shared: shared[b], stats: st}
+			for t := 0; t < k.Block; t++ {
+				ctx.Thread = t
+				phase(&ctx)
+			}
+			mu.Lock()
+			total.Add(&hwmodel.LaunchStats{
+				Ops:              st.ops,
+				GlobalReadBytes:  st.globalRead,
+				GlobalWriteBytes: st.globalWrite,
+				SharedBytes:      st.shared,
+				DivergentOps:     st.divergent,
+				DependentOps:     st.dependent,
+				UncoalescedBytes: st.uncoalesced,
+			})
+			mu.Unlock()
+		})
+	}
+
+	took := d.model.KernelTime(total)
+	s.record("launch", k.Name, 0, s.elapsed, took)
+	s.elapsed += took
+	return total
+}
+
+// parallelFor runs f(0..n-1) across at most workers goroutines, chunked to
+// keep scheduling overhead low for large grids.
+func parallelFor(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GridFor returns the number of blocks needed to cover n threads at the
+// given block size.
+func GridFor(n, block int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + block - 1) / block
+}

@@ -1,0 +1,55 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ProfileEvent records one operation on a profiled stream.
+type ProfileEvent struct {
+	// Kind is "launch", "h2d", "d2h", or "alloc".
+	Kind string
+	// Name is the kernel name for launches, empty otherwise.
+	Name string
+	// Bytes is the transfer/allocation size (0 for launches).
+	Bytes int64
+	// Start and Took place the operation on the stream's simulated
+	// timeline.
+	Start time.Duration
+	Took  time.Duration
+}
+
+// EnableProfiling turns on per-operation event recording for the stream,
+// the nvprof-style visibility used to understand where a query's
+// simulated time goes. Recording costs nothing on the simulated clock.
+func (s *Stream) EnableProfiling() { s.profiling = true }
+
+// Profile returns the recorded events (nil unless EnableProfiling was
+// called before the operations of interest).
+func (s *Stream) Profile() []ProfileEvent { return s.events }
+
+// ProfileReport renders the recorded events as an aligned text timeline.
+func (s *Stream) ProfileReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-26s %12s %12s %10s\n", "kind", "name", "start(us)", "took(us)", "bytes")
+	for _, e := range s.events {
+		fmt.Fprintf(&sb, "%-10s %-26s %12.1f %12.1f %10d\n",
+			e.Kind, e.Name,
+			float64(e.Start)/float64(time.Microsecond),
+			float64(e.Took)/float64(time.Microsecond),
+			e.Bytes)
+	}
+	return sb.String()
+}
+
+// record appends an event if profiling is enabled; called by the Stream
+// operations with the pre-operation clock and the charged duration.
+func (s *Stream) record(kind, name string, bytes int64, start, took time.Duration) {
+	if !s.profiling {
+		return
+	}
+	s.events = append(s.events, ProfileEvent{
+		Kind: kind, Name: name, Bytes: bytes, Start: start, Took: took,
+	})
+}

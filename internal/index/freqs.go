@@ -1,0 +1,72 @@
+package index
+
+import "griffin/internal/bitutil"
+
+// FreqStore holds a posting list's within-document term frequencies in
+// bit-packed 128-entry blocks: each block stores its values at the fixed
+// width of its largest value. Frequencies are tiny and highly skewed
+// (mostly 1-4), so packing cuts their footprint by ~8x versus raw u32 —
+// §2.1.1's "each entry in the inverted list contains a document
+// frequency" implies they travel with the index and must be compressed
+// like the docIDs they annotate.
+type FreqStore struct {
+	n      int
+	blocks []freqBlock
+}
+
+type freqBlock struct {
+	b     uint8
+	words []uint64
+}
+
+// PackFreqs compresses a frequency array.
+func PackFreqs(freqs []uint32) *FreqStore {
+	fs := &FreqStore{n: len(freqs)}
+	for start := 0; start < len(freqs); start += BlockSize {
+		end := start + BlockSize
+		if end > len(freqs) {
+			end = len(freqs)
+		}
+		chunk := freqs[start:end]
+		b := 1
+		for _, f := range chunk {
+			if w := bitutil.BitsFor(uint64(f)); w > b {
+				b = w
+			}
+		}
+		w := bitutil.NewWriter(len(chunk) * b)
+		for _, f := range chunk {
+			w.WriteBits(uint64(f), b)
+		}
+		fs.blocks = append(fs.blocks, freqBlock{b: uint8(b), words: w.Words()})
+	}
+	return fs
+}
+
+// Len returns the number of stored frequencies.
+func (fs *FreqStore) Len() int { return fs.n }
+
+// At returns the i-th frequency.
+func (fs *FreqStore) At(i int) uint32 {
+	blk := &fs.blocks[i/BlockSize]
+	return uint32(bitutil.GetBits(blk.words, (i%BlockSize)*int(blk.b), int(blk.b)))
+}
+
+// Decode returns all frequencies as a fresh slice.
+func (fs *FreqStore) Decode() []uint32 {
+	out := make([]uint32, fs.n)
+	for i := range out {
+		out[i] = fs.At(i)
+	}
+	return out
+}
+
+// CompressedBits returns the packed size in bits including per-block
+// width bytes.
+func (fs *FreqStore) CompressedBits() int64 {
+	var bits int64
+	for i := range fs.blocks {
+		bits += int64(len(fs.blocks[i].words))*64 + 8
+	}
+	return bits
+}

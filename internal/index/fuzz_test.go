@@ -1,0 +1,52 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex hammers the binary deserializer with corrupt inputs: it
+// must return an error (or a valid index), never panic or hang. The seed
+// corpus includes a genuine serialized index plus truncations and bit
+// flips of it.
+func FuzzReadIndex(f *testing.F) {
+	b := NewBuilder(CodecEF)
+	_ = b.AddDocument(0, []string{"alpha", "beta"})
+	_ = b.AddDocument(1, []string{"beta", "gamma", "beta"})
+	ix, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte("GRIF"))
+	flipped := append([]byte(nil), valid...)
+	if len(flipped) > 20 {
+		flipped[20] ^= 0xff
+	}
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		ix, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for garbage
+		}
+		// If it parsed, basic invariants must hold and lookups must not
+		// panic.
+		for _, term := range ix.Terms() {
+			pl, ok := ix.Lookup(term)
+			if !ok || pl.N < 0 {
+				t.Fatalf("inconsistent parsed index: term %q", term)
+			}
+		}
+	})
+}

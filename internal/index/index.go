@@ -1,0 +1,297 @@
+// Package index implements the inverted index at the heart of query
+// processing (§2.1): a term dictionary mapping each search term to a
+// compressed posting list of ascending docIDs with per-document term
+// frequencies, 128-element compression blocks, and per-block skip pointers
+// (Figure 2) that let intersections locate candidate blocks by binary
+// search without decompressing the rest of the list.
+//
+// Each posting list stores its docIDs in Elias-Fano form (Griffin's codec)
+// and, optionally, in PForDelta form (the CPU baseline), so the
+// experiments can compare both on identical data.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"griffin/internal/ef"
+	"griffin/internal/pfordelta"
+)
+
+// BlockSize is the posting-list compression block size; both codecs share
+// it (and §3.2 ties the GPU/CPU crossover threshold to it).
+const BlockSize = ef.BlockSize
+
+// SkipPointer addresses one compression block: the block's first docID and
+// its position, supporting binary search over blocks (Figure 2).
+type SkipPointer struct {
+	FirstDocID uint32
+	Block      int32
+}
+
+// PostingList holds one term's compressed postings.
+type PostingList struct {
+	// Term is the dictionary key.
+	Term string
+	// N is the number of documents containing the term (its document
+	// frequency in the collection).
+	N int
+	// EF is the Elias-Fano-compressed docID list (always present).
+	EF *ef.List
+	// PFD is the PForDelta-compressed docID list (present when the index
+	// was built with the Baseline codec enabled).
+	PFD *pfordelta.List
+	// Freqs stores the within-document frequency of the term in each
+	// posting's document (bit-packed), used by BM25 (§2.1.3).
+	Freqs *FreqStore
+	// Skips are the per-block skip pointers.
+	Skips []SkipPointer
+}
+
+// Len returns the posting count.
+func (p *PostingList) Len() int { return p.N }
+
+// DocIDs decompresses and returns all docIDs (test/diagnostic path).
+func (p *PostingList) DocIDs() []uint32 { return p.EF.Decompress() }
+
+// FreqOf returns the term frequency of the posting at index i.
+func (p *PostingList) FreqOf(i int) uint32 { return p.Freqs.At(i) }
+
+// FreqForDoc returns the term frequency for docID d, locating the posting
+// by binary search over the skip pointers and then within the candidate
+// block (the lookup ranking performs per surviving candidate, §2.1.3).
+// probes reports the binary-search comparisons for the cost model.
+func (p *PostingList) FreqForDoc(d uint32) (freq uint32, probes int, found bool) {
+	nb := len(p.EF.Blocks)
+	lo, hi := 0, nb
+	for lo < hi {
+		probes++
+		mid := (lo + hi) / 2
+		if p.EF.Blocks[mid].FirstDocID <= d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, probes, false
+	}
+	bi := lo - 1
+	blk := &p.EF.Blocks[bi]
+	var buf [BlockSize]uint32
+	n := blk.DecompressInto(buf[:])
+	blo, bhi := 0, n
+	for blo < bhi {
+		probes++
+		mid := (blo + bhi) / 2
+		switch {
+		case buf[mid] < d:
+			blo = mid + 1
+		case buf[mid] > d:
+			bhi = mid
+		default:
+			return p.Freqs.At(bi*BlockSize + mid), probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// Index is an in-memory inverted index plus the collection statistics BM25
+// needs.
+type Index struct {
+	// NumDocs is the collection size.
+	NumDocs int
+	// DocLens[d] is the token length of document d.
+	DocLens []uint32
+	// AvgDocLen is the mean document length.
+	AvgDocLen float64
+
+	terms map[string]*PostingList
+}
+
+// Lookup returns the posting list for term, if indexed.
+func (ix *Index) Lookup(term string) (*PostingList, bool) {
+	p, ok := ix.terms[term]
+	return p, ok
+}
+
+// NumTerms returns the dictionary size.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// Terms returns all dictionary terms in sorted order.
+func (ix *Index) Terms() []string {
+	out := make([]string, 0, len(ix.terms))
+	for t := range ix.terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ListSizes returns the posting-list lengths of every term (the Figure 10
+// distribution input).
+func (ix *Index) ListSizes() []int {
+	out := make([]int, 0, len(ix.terms))
+	for _, p := range ix.terms {
+		out = append(out, p.N)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DocLen returns document d's token length (1 if unknown, avoiding
+// divide-by-zero in scoring).
+func (ix *Index) DocLen(d uint32) uint32 {
+	if int(d) < len(ix.DocLens) && ix.DocLens[d] > 0 {
+		return ix.DocLens[d]
+	}
+	return 1
+}
+
+// Codec selects which compressed forms the builder materializes.
+type Codec int
+
+const (
+	// CodecEF stores Elias-Fano only (Griffin's configuration).
+	CodecEF Codec = iota
+	// CodecBoth stores Elias-Fano plus the PForDelta baseline, for the
+	// comparison experiments (Table 1, Figure 12).
+	CodecBoth
+)
+
+// Builder accumulates documents and produces an Index.
+type Builder struct {
+	codec    Codec
+	postings map[string]*building
+	docLens  map[uint32]uint32
+	maxDocID uint32
+	hasDocs  bool
+}
+
+type building struct {
+	docIDs []uint32
+	freqs  []uint32
+}
+
+// NewBuilder returns a Builder using the given codec configuration.
+func NewBuilder(codec Codec) *Builder {
+	return &Builder{
+		codec:    codec,
+		postings: make(map[string]*building),
+		docLens:  make(map[uint32]uint32),
+	}
+}
+
+// ErrDocOrder is returned when documents are added with non-increasing IDs.
+var ErrDocOrder = errors.New("index: documents must be added in ascending docID order")
+
+// AddDocument indexes one document's token stream. Documents must arrive
+// in strictly ascending docID order (the standard single-pass build).
+func (b *Builder) AddDocument(docID uint32, tokens []string) error {
+	if b.hasDocs && docID <= b.maxDocID {
+		return fmt.Errorf("%w: got %d after %d", ErrDocOrder, docID, b.maxDocID)
+	}
+	b.hasDocs = true
+	b.maxDocID = docID
+	b.docLens[docID] = uint32(len(tokens))
+
+	counts := make(map[string]uint32)
+	for _, tok := range tokens {
+		counts[tok]++
+	}
+	for term, freq := range counts {
+		p := b.postings[term]
+		if p == nil {
+			p = &building{}
+			b.postings[term] = p
+		}
+		p.docIDs = append(p.docIDs, docID)
+		p.freqs = append(p.freqs, freq)
+	}
+	return nil
+}
+
+// AddPostings indexes a raw posting list directly (the synthetic-workload
+// path): docIDs strictly ascending, freqs parallel (nil means all 1).
+func (b *Builder) AddPostings(term string, docIDs []uint32, freqs []uint32) error {
+	if freqs != nil && len(freqs) != len(docIDs) {
+		return fmt.Errorf("index: %d freqs for %d docIDs", len(freqs), len(docIDs))
+	}
+	p := b.postings[term]
+	if p == nil {
+		p = &building{}
+		b.postings[term] = p
+	}
+	for i, id := range docIDs {
+		if len(p.docIDs) > 0 && id <= p.docIDs[len(p.docIDs)-1] {
+			return fmt.Errorf("%w: term %q docID %d", ef.ErrNotAscending, term, id)
+		}
+		p.docIDs = append(p.docIDs, id)
+		if freqs != nil {
+			p.freqs = append(p.freqs, freqs[i])
+		} else {
+			p.freqs = append(p.freqs, 1)
+		}
+		if !b.hasDocs || id > b.maxDocID {
+			b.maxDocID = id
+			b.hasDocs = true
+		}
+	}
+	return nil
+}
+
+// SetDocLen records a document's token length for scoring (used with
+// AddPostings; AddDocument records lengths automatically).
+func (b *Builder) SetDocLen(docID uint32, n uint32) {
+	b.docLens[docID] = n
+	if !b.hasDocs || docID > b.maxDocID {
+		b.maxDocID = docID
+		b.hasDocs = true
+	}
+}
+
+// Build compresses every accumulated posting list and returns the Index.
+func (b *Builder) Build() (*Index, error) {
+	ix := &Index{terms: make(map[string]*PostingList, len(b.postings))}
+	if b.hasDocs {
+		ix.NumDocs = int(b.maxDocID) + 1
+		ix.DocLens = make([]uint32, ix.NumDocs)
+		var sum uint64
+		var cnt int
+		for id, l := range b.docLens {
+			ix.DocLens[id] = l
+			sum += uint64(l)
+			cnt++
+		}
+		if cnt > 0 {
+			ix.AvgDocLen = float64(sum) / float64(cnt)
+		}
+	}
+
+	for term, raw := range b.postings {
+		efList, err := ef.Compress(raw.docIDs)
+		if err != nil {
+			return nil, fmt.Errorf("term %q: %w", term, err)
+		}
+		pl := &PostingList{
+			Term:  term,
+			N:     len(raw.docIDs),
+			EF:    efList,
+			Freqs: PackFreqs(raw.freqs),
+		}
+		if b.codec == CodecBoth {
+			pfdList, err := pfordelta.Compress(raw.docIDs)
+			if err != nil {
+				return nil, fmt.Errorf("term %q: %w", term, err)
+			}
+			pl.PFD = pfdList
+		}
+		pl.Skips = make([]SkipPointer, len(efList.Blocks))
+		for i := range efList.Blocks {
+			pl.Skips[i] = SkipPointer{FirstDocID: efList.Blocks[i].FirstDocID, Block: int32(i)}
+		}
+		ix.terms[term] = pl
+	}
+	return ix, nil
+}

@@ -1,0 +1,33 @@
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase alphanumeric terms, the minimal
+// analyzer the indexer CLI and examples use. Anything that is not a letter
+// or digit separates tokens; tokens shorter than 2 runes are dropped (they
+// carry almost no retrieval signal and bloat the dictionary).
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() >= 2 {
+			out = append(out, sb.String())
+		}
+		sb.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			sb.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			sb.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

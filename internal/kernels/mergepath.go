@@ -1,0 +1,230 @@
+package kernels
+
+import (
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+)
+
+// VT is the number of merge-path steps (elements from A plus elements
+// from B) each thread merges serially — moderngpu's "values per thread".
+const VT = 32
+
+// BlockElems is the number of path steps covered by one thread block:
+// its partition pair is what must fit in shared memory (GPU MergePath's
+// sizing rule, §3.1.2): 4096 x 4 bytes x 2 lists = 32 KB, within the
+// K20's 48 KB per block.
+const BlockElems = ThreadsPerBlock * VT
+
+// IntersectResult carries the output of a device intersection: the device
+// buffer holding the compacted matches and the match count.
+type IntersectResult struct {
+	Out   *gpu.Buffer
+	Count int
+	Stats hwmodel.LaunchStats
+}
+
+// Matches returns the matched docIDs (device-resident payload).
+func (r *IntersectResult) Matches() []uint32 {
+	return r.Out.Data.([]uint32)[:r.Count]
+}
+
+// IntersectMergePath intersects two decompressed, strictly-ascending
+// device arrays using the GPU MergePath algorithm (Green, McColl, Bader —
+// ICS 2012), the load-balanced parallel intersection Griffin-GPU uses when
+// list lengths are comparable (§3.1.2).
+//
+// Partitioning is two-level, as in the reference CUDA implementations:
+//
+//  1. a coarse diagonal binary search against global memory finds each
+//     thread block's boundary on the merge path (one search per 4096 path
+//     steps — Figure 6's cross-diagonal construction);
+//  2. each block stages its partition pair into shared memory, and every
+//     thread runs a fine diagonal search there to carve out its own VT
+//     path steps, then merges them serially (Figure 5's even partitions:
+//     perfectly load-balanced, no synchronization during the merge).
+//
+// A match whose A-copy and B-copy straddle a partition boundary is claimed
+// by the right-hand partition (the straddle check), keeping counts exact.
+// A scan over per-thread match counts and a compaction pass produce the
+// final dense result.
+func IntersectMergePath(s *gpu.Stream, aBuf, bBuf *gpu.Buffer) (*IntersectResult, error) {
+	a := aBuf.Data.([]uint32)
+	b := bBuf.Data.([]uint32)
+	total := len(a) + len(b)
+	if total == 0 {
+		out, err := s.Alloc(0)
+		if err != nil {
+			return nil, err
+		}
+		out.Data = []uint32{}
+		return &IntersectResult{Out: out}, nil
+	}
+
+	numBlocks := (total + BlockElems - 1) / BlockElems
+	numParts := numBlocks * ThreadsPerBlock
+	blockA := make([]int32, numBlocks+1) // coarse boundaries in A
+	counts := make([]int32, numParts)
+	temp := make([]uint32, numParts*VT/2+1)
+
+	agg := &hwmodel.LaunchStats{}
+
+	k := &gpu.Kernel{
+		Name:        "mergepath_intersect",
+		Grid:        numBlocks,
+		Block:       ThreadsPerBlock,
+		SharedBytes: 2 * BlockElems * 4,
+		Phases: []gpu.Phase{
+			// Phase 1: coarse diagonal search, one boundary per block
+			// (thread 0), plus the terminal boundary (thread 1, block 0).
+			func(c *gpu.Ctx) {
+				if c.Thread == 0 {
+					d := c.Block * BlockElems
+					i, probes := diagonalSearch(a, b, 0, len(a), d)
+					blockA[c.Block] = int32(i)
+					c.DivergentOp(probes)
+					c.UncoalescedRead(8 * probes)
+				}
+				if c.Block == 0 && c.Thread == 1 {
+					i, probes := diagonalSearch(a, b, 0, len(a), total)
+					blockA[numBlocks] = int32(i)
+					c.DivergentOp(probes)
+					c.UncoalescedRead(8 * probes)
+				}
+			},
+			// Phase 2: stage the block's partition pair through shared
+			// memory, fine-partition per thread, merge serially.
+			func(c *gpu.Ctx) {
+				blkLo := c.Block * BlockElems
+				blkHi := blkLo + BlockElems
+				if blkHi > total {
+					blkHi = total
+				}
+				aLo, aHi := int(blockA[c.Block]), int(blockA[c.Block+1])
+				if c.Thread == 0 {
+					// The cooperative staging load: every element of the
+					// block's A- and B-ranges moves global -> shared once,
+					// coalesced. Charged once per block.
+					loadBytes := 4 * (blkHi - blkLo)
+					c.GlobalRead(loadBytes)
+					c.SharedAccess(loadBytes)
+				}
+
+				d := blkLo + c.Thread*VT
+				if d >= blkHi {
+					return
+				}
+				dEnd := d + VT
+				if dEnd > blkHi {
+					dEnd = blkHi
+				}
+				// Fine diagonal searches run against the staged copy:
+				// shared-memory traffic, full occupancy.
+				i0, probes0 := diagonalSearch(a, b, aLo, aHi, d)
+				i1, probes1 := diagonalSearch(a, b, aLo, aHi, dEnd)
+				c.Op(probes0 + probes1)
+				c.SharedAccess(8 * (probes0 + probes1))
+
+				j0, j1 := d-i0, dEnd-i1
+				kIdx := c.Block*ThreadsPerBlock + c.Thread
+				out := temp[kIdx*VT/2:]
+				n := 0
+				// Straddle check: a match split across the partition
+				// boundary has its A-copy as the previous partition's last
+				// step and its B-copy as this partition's first.
+				if j0 < j1 && i0 > 0 && b[j0] == a[i0-1] {
+					out[n] = b[j0]
+					n++
+				}
+				i, j := i0, j0
+				steps := 0
+				for i < i1 && j < j1 {
+					steps++
+					switch {
+					case a[i] < b[j]:
+						i++
+					case a[i] > b[j]:
+						j++
+					default:
+						out[n] = a[i]
+						n++
+						i++
+						j++
+					}
+				}
+				counts[kIdx] = int32(n)
+				c.Op(steps)
+				c.SharedAccess(8 * steps)
+				c.GlobalWrite(4 * n)
+			},
+		},
+	}
+	st := s.Launch(k)
+	agg.Add(st)
+	agg.Blocks, agg.ThreadsPerBlock, agg.Phases = st.Blocks, st.ThreadsPerBlock, st.Phases
+
+	// Scan match counts for stable output offsets, then compact.
+	offsets, totalMatches, scanSt := ScanExclusive(s, counts)
+	agg.Add(scanSt)
+	agg.Phases += scanSt.Phases
+
+	outBuf, err := s.Alloc(totalMatches * 4)
+	if err != nil {
+		return nil, err
+	}
+	result := make([]uint32, totalMatches)
+	outBuf.Data = result
+	ck := &gpu.Kernel{
+		Name:  "mergepath_compact",
+		Grid:  numBlocks,
+		Block: ThreadsPerBlock,
+		Phases: []gpu.Phase{func(c *gpu.Ctx) {
+			kIdx := c.GlobalID()
+			if kIdx >= numParts {
+				return
+			}
+			n := int(counts[kIdx])
+			if n == 0 {
+				return
+			}
+			copy(result[offsets[kIdx]:], temp[kIdx*VT/2:kIdx*VT/2+n])
+			c.GlobalRead(4 * n)
+			c.GlobalWrite(4 * n)
+			c.Op(n)
+		}},
+	}
+	cst := s.Launch(ck)
+	agg.Add(cst)
+	agg.Phases += cst.Phases
+
+	return &IntersectResult{Out: outBuf, Count: int(totalMatches), Stats: *agg}, nil
+}
+
+// diagonalSearch finds the merge-path crossing of the diagonal at combined
+// offset d: the number of rightward (A-consuming) steps in the first d
+// path steps, constrained to lie in [aLo, aHi]. Returns that count and the
+// number of binary-search probes performed.
+//
+// Uses the classic merge-path invariant with the tie rule "advance A on
+// equality", matching the intersection's A-first order.
+func diagonalSearch(a, b []uint32, aLo, aHi, d int) (i, probes int) {
+	lo := d - len(b)
+	if lo < aLo {
+		lo = aLo
+	}
+	hi := d
+	if hi > aHi {
+		hi = aHi
+	}
+	for lo < hi {
+		probes++
+		mid := (lo + hi) / 2
+		j := d - mid - 1
+		// The path takes step mid+1 from A iff a[mid] <= b[j].
+		if j >= len(b) || (j >= 0 && a[mid] <= b[j]) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, probes
+}

@@ -1,0 +1,186 @@
+package kernels
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"griffin/internal/ef"
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+)
+
+func newStream() *gpu.Stream {
+	return gpu.New(hwmodel.DefaultGPU(), 0).NewStream()
+}
+
+func genAscending(rng *rand.Rand, n int, maxGap uint32) []uint32 {
+	ids := make([]uint32, n)
+	cur := uint32(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		cur += 1 + uint32(rng.Intn(int(maxGap)))
+		ids[i] = cur
+	}
+	return ids
+}
+
+func decompressOnDevice(t testing.TB, s *gpu.Stream, ids []uint32) []uint32 {
+	t.Helper()
+	l, err := ef.Compress(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := UploadEF(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ParaEFDecompress(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Data.([]uint32)
+}
+
+func TestParaEFMatchesSerialDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	s := newStream()
+	for _, n := range []int{1, 2, 127, 128, 129, 1000, 4096, 100000} {
+		for _, maxGap := range []uint32{1, 2, 37, 5000} {
+			ids := genAscending(rng, n, maxGap)
+			got := decompressOnDevice(t, s, ids)
+			if !reflect.DeepEqual(got, ids) {
+				t.Fatalf("n=%d gap=%d: Para-EF output differs from input", n, maxGap)
+			}
+		}
+	}
+}
+
+func TestParaEFPaperExample(t *testing.T) {
+	// Figure 4's sequence.
+	ids := []uint32{5, 6, 8, 15, 18, 33}
+	got := decompressOnDevice(t, newStream(), ids)
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("got %v want %v", got, ids)
+	}
+}
+
+func TestParaEFDenseRun(t *testing.T) {
+	ids := make([]uint32, 500)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	got := decompressOnDevice(t, newStream(), ids)
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatal("dense run mismatch")
+	}
+}
+
+func TestParaEFSparseHugeGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ids := genAscending(rng, 300, 1<<22)
+	got := decompressOnDevice(t, newStream(), ids)
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatal("sparse list mismatch")
+	}
+}
+
+func TestParaEFEmptyList(t *testing.T) {
+	s := newStream()
+	l, _ := ef.Compress(nil)
+	buf, err := UploadEF(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ParaEFDecompress(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Data.([]uint32); len(got) != 0 {
+		t.Fatalf("expected empty output, got %d elements", len(got))
+	}
+}
+
+func TestParaEFStatsPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := newStream()
+	ids := genAscending(rng, 10000, 50)
+	l, _ := ef.Compress(ids)
+	buf, _ := UploadEF(s, l)
+	_, st, err := ParaEFDecompress(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every element must be written exactly once: 4 bytes per docID.
+	if st.GlobalWriteBytes != int64(len(ids))*4 {
+		t.Fatalf("GlobalWriteBytes = %d, want %d", st.GlobalWriteBytes, len(ids)*4)
+	}
+	if st.Ops == 0 || st.GlobalReadBytes == 0 || st.SharedBytes == 0 {
+		t.Fatalf("missing counters: %+v", st)
+	}
+	if st.Phases != 4 {
+		t.Fatalf("Phases = %d, want 4 (Algorithm 1 structure)", st.Phases)
+	}
+}
+
+func TestParaEFChargesTransferForCompressedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	ids := genAscending(rng, 1<<20, 20) // dense: compresses well
+
+	s1 := dev.NewStream()
+	l, _ := ef.Compress(ids)
+	if _, err := UploadEF(s1, l); err != nil {
+		t.Fatal(err)
+	}
+	compressedCost := s1.Elapsed()
+
+	s2 := dev.NewStream()
+	if _, err := s2.H2D(ids, int64(len(ids))*4); err != nil {
+		t.Fatal(err)
+	}
+	rawCost := s2.Elapsed()
+
+	if compressedCost >= rawCost {
+		t.Fatalf("compressed upload %v not cheaper than raw %v", compressedCost, rawCost)
+	}
+}
+
+func TestParaEFSpeedupGrowsWithListSize(t *testing.T) {
+	// The Figure-12 shape: simulated GPU decompression time per element
+	// shrinks as lists grow (overhead amortization + occupancy).
+	rng := rand.New(rand.NewSource(44))
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	perElem := func(n int) float64 {
+		ids := genAscending(rng, n, 30)
+		s := dev.NewStream()
+		l, _ := ef.Compress(ids)
+		buf, _ := UploadEF(s, l)
+		if _, _, err := ParaEFDecompress(s, buf); err != nil {
+			t.Fatal(err)
+		}
+		return float64(s.Elapsed()) / float64(n)
+	}
+	small, large := perElem(1000), perElem(1<<20)
+	if large >= small {
+		t.Fatalf("per-element cost did not shrink: small=%v large=%v", small, large)
+	}
+}
+
+func BenchmarkParaEFDecompress1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	ids := genAscending(rng, 1<<20, 30)
+	l, _ := ef.Compress(ids)
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	b.SetBytes(int64(len(ids)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dev.NewStream()
+		buf, _ := UploadEF(s, l)
+		out, _, err := ParaEFDecompress(s, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Free()
+		buf.Free()
+	}
+}

@@ -1,0 +1,119 @@
+package kernels
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"griffin/internal/ef"
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/pfordelta"
+)
+
+func pfdDecompressOnDevice(t testing.TB, s *gpu.Stream, ids []uint32) []uint32 {
+	t.Helper()
+	l, err := pfordelta.Compress(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := UploadPFD(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := PFDDecompressGPU(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Data.([]uint32)
+}
+
+func TestPFDGPUMatchesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	s := newStream()
+	for _, n := range []int{1, 127, 128, 129, 1000, 50000} {
+		ids := genAscending(rng, n, 100)
+		// Sprinkle large gaps so exception chains are exercised.
+		for i := 5; i < len(ids); i += 11 {
+			for j := i; j < len(ids); j++ {
+				ids[j] += 1 << 18
+			}
+		}
+		got := pfdDecompressOnDevice(t, s, ids)
+		if !reflect.DeepEqual(got, ids) {
+			t.Fatalf("n=%d: GPU PFD port round trip mismatch", n)
+		}
+	}
+}
+
+func TestPFDGPUEmpty(t *testing.T) {
+	s := newStream()
+	l, _ := pfordelta.Compress(nil)
+	buf, err := UploadPFD(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := PFDDecompressGPU(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Data.([]uint32); len(got) != 0 {
+		t.Fatalf("expected empty, got %d", len(got))
+	}
+}
+
+// TestPaperClaimPFDPortSlowerThanParaEF reproduces §3.1.1's argument for
+// adopting Elias-Fano: the direct PForDelta port's sequential exception
+// chains and serial prefix sums leave it well behind Para-EF on the same
+// data at paper-relevant sizes.
+func TestPaperClaimPFDPortSlowerThanParaEF(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	ids := genAscending(rng, 1<<20, 40)
+
+	sEF := dev.NewStream()
+	efl, _ := ef.Compress(ids)
+	efBuf, _ := UploadEF(sEF, efl)
+	base := sEF.Elapsed()
+	if _, _, err := ParaEFDecompress(sEF, efBuf); err != nil {
+		t.Fatal(err)
+	}
+	efTime := sEF.Elapsed() - base
+
+	sPFD := dev.NewStream()
+	pfdl, _ := pfordelta.Compress(ids)
+	pfdBuf, _ := UploadPFD(sPFD, pfdl)
+	base = sPFD.Elapsed()
+	out, _, err := PFDDecompressGPU(sPFD, pfdBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfdTime := sPFD.Elapsed() - base
+
+	if !reflect.DeepEqual(out.Data.([]uint32), ids) {
+		t.Fatal("PFD port produced wrong output")
+	}
+	if pfdTime < 2*efTime {
+		t.Fatalf("PFD port (%v) not clearly slower than Para-EF (%v); the paper's claim should reproduce",
+			pfdTime, efTime)
+	}
+}
+
+func BenchmarkPFDGPUDirectPort1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(82))
+	ids := genAscending(rng, 1<<20, 40)
+	l, _ := pfordelta.Compress(ids)
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	b.SetBytes(int64(len(ids)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dev.NewStream()
+		buf, _ := UploadPFD(s, l)
+		out, _, err := PFDDecompressGPU(s, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Free()
+		buf.Free()
+	}
+}

@@ -1,0 +1,242 @@
+package kernels
+
+import (
+	"sort"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+)
+
+// selectBuckets is the bucket fan-out per refinement round of bucketSelect
+// (Alabi et al., JEA 2012, use a small power of two; 32 matches a warp).
+const selectBuckets = 32
+
+// maxSelectRounds bounds range refinement; with 32-way splits, a handful
+// of rounds isolates the k-th value in any realistic score distribution.
+const maxSelectRounds = 10
+
+// BucketSelectTopK ranks candidates with the GPU bucketSelect k-selection
+// algorithm (the paper's second Figure-7 contender): iteratively histogram
+// scores into buckets over a shrinking value range until the bucket holding
+// the k-th largest score is isolated, which yields the k-th max; then a
+// final pass selects every score above the threshold. Results are returned
+// in descending score order.
+func BucketSelectTopK(s *gpu.Stream, docsBuf *gpu.Buffer, k int) ([]ScoredDoc, *hwmodel.LaunchStats, error) {
+	docs := docsBuf.Data.([]ScoredDoc)
+	n := len(docs)
+	agg := &hwmodel.LaunchStats{}
+	if n == 0 || k <= 0 {
+		return nil, agg, nil
+	}
+	if k > n {
+		k = n
+	}
+
+	numChunks, grid := rankChunks(n)
+	chunkLen := (n + numChunks - 1) / numChunks
+
+	// Round 0: min/max reduction to initialize the bucket range.
+	chunkMin := make([]float32, numChunks)
+	chunkMax := make([]float32, numChunks)
+	kReduce := &gpu.Kernel{
+		Name:  "bucketselect_minmax",
+		Grid:  grid,
+		Block: ThreadsPerBlock,
+		Phases: []gpu.Phase{func(c *gpu.Ctx) {
+			chunk := c.GlobalID()
+			if chunk >= numChunks {
+				return
+			}
+			lo, hi := chunk*chunkLen, (chunk+1)*chunkLen
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				chunkMin[chunk], chunkMax[chunk] = docs[0].Score, docs[0].Score
+				return
+			}
+			mn, mx := docs[lo].Score, docs[lo].Score
+			for i := lo + 1; i < hi; i++ {
+				v := docs[i].Score
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			chunkMin[chunk], chunkMax[chunk] = mn, mx
+			c.GlobalRead(4 * (hi - lo))
+			c.Op(2 * (hi - lo))
+		}},
+	}
+	st := s.Launch(kReduce)
+	agg.Add(st)
+	agg.Blocks, agg.ThreadsPerBlock = st.Blocks, st.ThreadsPerBlock
+	agg.Phases += st.Phases
+
+	lo, hi := chunkMin[0], chunkMax[0]
+	for i := 1; i < numChunks; i++ {
+		if chunkMin[i] < lo {
+			lo = chunkMin[i]
+		}
+		if chunkMax[i] > hi {
+			hi = chunkMax[i]
+		}
+	}
+
+	// Refinement rounds: histogram the active range, walk buckets from the
+	// top until the cumulative count reaches k, recurse into that bucket.
+	// kRemaining tracks how many of the top-k fall inside the active range.
+	kRemaining := k
+	for round := 0; round < maxSelectRounds && hi > lo; round++ {
+		hist := make([]int64, selectBuckets*numChunks)
+		width := (hi - lo) / selectBuckets
+		if width <= 0 {
+			break
+		}
+		rLo, rHi := lo, hi
+		kHist := &gpu.Kernel{
+			Name:  "bucketselect_histogram",
+			Grid:  grid,
+			Block: ThreadsPerBlock,
+			Phases: []gpu.Phase{func(c *gpu.Ctx) {
+				chunk := c.GlobalID()
+				if chunk >= numChunks {
+					return
+				}
+				clo, chi := chunk*chunkLen, (chunk+1)*chunkLen
+				if chi > n {
+					chi = n
+				}
+				work := 0
+				for i := clo; i < chi; i++ {
+					v := docs[i].Score
+					if v < rLo || v > rHi {
+						continue
+					}
+					b := int((v - rLo) / width)
+					if b >= selectBuckets {
+						b = selectBuckets - 1
+					}
+					hist[b*numChunks+chunk]++
+					work++
+				}
+				c.GlobalRead(4 * (chi - clo))
+				c.Op(3 * work)
+				c.SharedAccess(8 * work)
+				// Bucket choice is data-dependent: warp lanes update
+				// different counters.
+				c.DivergentOp(work)
+			}},
+		}
+		st = s.Launch(kHist)
+		agg.Add(st)
+		agg.Phases += st.Phases
+
+		// Walk buckets from the top (host-side scalar step, as in the
+		// reference implementation's CPU control loop).
+		var bucketTotals [selectBuckets]int64
+		for b := 0; b < selectBuckets; b++ {
+			for ch := 0; ch < numChunks; ch++ {
+				bucketTotals[b] += hist[b*numChunks+ch]
+			}
+		}
+		cum := int64(0)
+		target := -1
+		for b := selectBuckets - 1; b >= 0; b-- {
+			if cum+bucketTotals[b] >= int64(kRemaining) {
+				target = b
+				break
+			}
+			cum += bucketTotals[b]
+		}
+		if target < 0 {
+			break
+		}
+		kRemaining -= int(cum)
+		newLo := lo + float32(target)*width
+		newHi := newLo + width
+		if target == selectBuckets-1 {
+			newHi = hi
+		}
+		if bucketTotals[target] <= int64(kRemaining) || newHi <= newLo {
+			lo, hi = newLo, newHi
+			break
+		}
+		lo, hi = newLo, newHi
+	}
+
+	// The k-th max lies in [lo, hi]; select everything >= lo with a
+	// count/scan/compact pass, then trim on the host (the final exact cut
+	// is tiny: at most k plus one bucket's worth of ties).
+	chunkHits := make([]int32, numChunks)
+	kCount := &gpu.Kernel{
+		Name:  "bucketselect_count",
+		Grid:  grid,
+		Block: ThreadsPerBlock,
+		Phases: []gpu.Phase{func(c *gpu.Ctx) {
+			chunk := c.GlobalID()
+			if chunk >= numChunks {
+				return
+			}
+			clo, chi := chunk*chunkLen, (chunk+1)*chunkLen
+			if chi > n {
+				chi = n
+			}
+			cnt := int32(0)
+			for i := clo; i < chi; i++ {
+				if docs[i].Score >= lo {
+					cnt++
+				}
+			}
+			chunkHits[chunk] = cnt
+			c.GlobalRead(4 * (chi - clo))
+			c.Op(chi - clo)
+		}},
+	}
+	st = s.Launch(kCount)
+	agg.Add(st)
+	agg.Phases += st.Phases
+
+	offsets, totalHits, scanSt := ScanExclusive(s, chunkHits)
+	agg.Add(scanSt)
+	agg.Phases += scanSt.Phases
+
+	cand := make([]ScoredDoc, totalHits)
+	kGather := &gpu.Kernel{
+		Name:  "bucketselect_gather",
+		Grid:  grid,
+		Block: ThreadsPerBlock,
+		Phases: []gpu.Phase{func(c *gpu.Ctx) {
+			chunk := c.GlobalID()
+			if chunk >= numChunks {
+				return
+			}
+			clo, chi := chunk*chunkLen, (chunk+1)*chunkLen
+			if chi > n {
+				chi = n
+			}
+			pos := int(offsets[chunk])
+			for i := clo; i < chi; i++ {
+				if docs[i].Score >= lo {
+					cand[pos] = docs[i]
+					pos++
+				}
+			}
+			c.GlobalRead(8 * (chi - clo))
+			c.GlobalWrite(8 * (pos - int(offsets[chunk])))
+			c.Op(chi - clo)
+		}},
+	}
+	st = s.Launch(kGather)
+	agg.Add(st)
+	agg.Phases += st.Phases
+
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Score > cand[j].Score })
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	s.D2H(docsBuf, int64(len(cand))*8)
+	return cand, agg, nil
+}

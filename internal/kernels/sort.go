@@ -1,0 +1,168 @@
+package kernels
+
+import (
+	"math"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+)
+
+// ScoredDoc pairs a candidate document with its relevance score, the unit
+// the ranking kernels operate on.
+type ScoredDoc struct {
+	DocID uint32
+	Score float32
+}
+
+// chunkTarget is the number of elements each thread processes in the
+// chunked ranking kernels (histogram/scatter grain).
+const chunkTarget = 256
+
+// rankChunks returns the chunk count and grid size for n elements.
+func rankChunks(n int) (numChunks, grid int) {
+	numChunks = (n + chunkTarget - 1) / chunkTarget
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	grid = gpu.GridFor(numChunks, ThreadsPerBlock)
+	return numChunks, grid
+}
+
+// sortKey maps a float32 score to a uint32 whose unsigned ascending order
+// matches the float's numeric ascending order (the standard sign-flip
+// trick radix sorts use for IEEE-754 keys); the top scores then sit at the
+// sorted tail.
+func sortKey(f float32) uint32 {
+	bits := math.Float32bits(f)
+	if bits&0x80000000 != 0 {
+		return ^bits
+	}
+	return bits | 0x80000000
+}
+
+// RadixSortTopK ranks candidates by brute force (the paper's "GPU
+// radixSort" baseline in Figure 7): a full LSD radix sort of all scores on
+// the device, after which the top k are read off the tail. It returns the
+// top-k docs in descending score order.
+//
+// Each 8-bit digit pass is the classic three-step device sort: per-chunk
+// digit histograms, an exclusive scan over (digit, chunk) counts, and a
+// stable scatter. The scatter's destinations are digit-dependent, so its
+// writes are charged as uncoalesced — the cost that keeps brute-force
+// sorting the slowest ranking option (Figure 7).
+func RadixSortTopK(s *gpu.Stream, docsBuf *gpu.Buffer, k int) ([]ScoredDoc, *hwmodel.LaunchStats, error) {
+	docs := docsBuf.Data.([]ScoredDoc)
+	n := len(docs)
+	agg := &hwmodel.LaunchStats{}
+	if n == 0 {
+		return nil, agg, nil
+	}
+
+	keys := make([]uint32, n)
+	vals := make([]ScoredDoc, n)
+	copy(vals, docs)
+	for i, d := range docs {
+		keys[i] = sortKey(d.Score)
+	}
+	tmpKeys := make([]uint32, n)
+	tmpVals := make([]ScoredDoc, n)
+
+	numChunks, grid := rankChunks(n)
+	chunkLen := (n + numChunks - 1) / numChunks
+
+	const radixBits = 8
+	const buckets = 1 << radixBits
+
+	for pass := 0; pass < 32/radixBits; pass++ {
+		shift := uint(pass * radixBits)
+		counts := make([]int32, buckets*numChunks)
+
+		kHist := &gpu.Kernel{
+			Name:  "radix_histogram",
+			Grid:  grid,
+			Block: ThreadsPerBlock,
+			Phases: []gpu.Phase{func(c *gpu.Ctx) {
+				chunk := c.GlobalID()
+				if chunk >= numChunks {
+					return
+				}
+				lo, hi := chunk*chunkLen, (chunk+1)*chunkLen
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					d := (keys[i] >> shift) & (buckets - 1)
+					counts[int(d)*numChunks+chunk]++
+				}
+				work := hi - lo
+				if work > 0 {
+					c.GlobalRead(4 * work)
+					c.Op(2 * work)
+					c.SharedAccess(4 * work)
+				}
+			}},
+		}
+		st := s.Launch(kHist)
+		agg.Add(st)
+		agg.Blocks, agg.ThreadsPerBlock = st.Blocks, st.ThreadsPerBlock
+		agg.Phases += st.Phases
+
+		// Device scan over (digit-major, chunk-minor) counts gives each
+		// chunk a stable base offset per digit.
+		offsets, _, scanSt := ScanExclusive(s, counts)
+		agg.Add(scanSt)
+		agg.Phases += scanSt.Phases
+
+		kScatter := &gpu.Kernel{
+			Name:  "radix_scatter",
+			Grid:  grid,
+			Block: ThreadsPerBlock,
+			Phases: []gpu.Phase{func(c *gpu.Ctx) {
+				chunk := c.GlobalID()
+				if chunk >= numChunks {
+					return
+				}
+				lo, hi := chunk*chunkLen, (chunk+1)*chunkLen
+				if hi > n {
+					hi = n
+				}
+				var local [buckets]int64
+				for d := 0; d < buckets; d++ {
+					local[d] = int64(offsets[d*numChunks+chunk])
+				}
+				for i := lo; i < hi; i++ {
+					d := (keys[i] >> shift) & (buckets - 1)
+					pos := local[d]
+					local[d]++
+					tmpKeys[pos] = keys[i]
+					tmpVals[pos] = vals[i]
+				}
+				work := hi - lo
+				if work > 0 {
+					c.GlobalRead(12 * work) // key + value loads, coalesced
+					// Destination order is digit-dependent: scattered.
+					c.UncoalescedWrite(12 * work)
+					c.DivergentOp(work) // bucket choice diverges the warp
+					c.Op(3 * work)
+				}
+			}},
+		}
+		st = s.Launch(kScatter)
+		agg.Add(st)
+		agg.Phases += st.Phases
+
+		keys, tmpKeys = tmpKeys, keys
+		vals, tmpVals = tmpVals, vals
+	}
+
+	if k > n {
+		k = n
+	}
+	// Keys ascend; top-k scores sit at the tail. D2H only the k results.
+	out := make([]ScoredDoc, k)
+	for i := 0; i < k; i++ {
+		out[i] = vals[n-1-i]
+	}
+	s.D2H(docsBuf, int64(k)*8)
+	return out, agg, nil
+}

@@ -1,0 +1,89 @@
+package loadsim
+
+import (
+	"testing"
+	"time"
+)
+
+func dualWork(n int) []DualTrace {
+	// Same logical work: Griffin plan = 2ms GPU + 1ms CPU; CPU-only plan
+	// = 8ms CPU (the GPU path is 2.7x cheaper in total service time).
+	out := make([]DualTrace, n)
+	for i := range out {
+		out[i] = DualTrace{
+			Griffin: []Segment{{ResGPU, 2 * time.Millisecond}, {ResCPU, time.Millisecond}},
+			CPUOnly: []Segment{{ResCPU, 8 * time.Millisecond}},
+		}
+	}
+	return out
+}
+
+func TestAdaptiveMatchesGriffinUnderLightLoad(t *testing.T) {
+	traces := dualWork(100)
+	spec := Spec{CPUWorkers: 4, ArrivalRate: 50, Seed: 10} // far below capacity
+	static := make([][]Segment, len(traces))
+	for i := range traces {
+		static[i] = traces[i].Griffin
+	}
+	rs := Run(static, spec)
+	ra := RunAdaptive(traces, spec, 4)
+	// No backlog ever forms, so the adaptive policy always picks the
+	// Griffin plan: identical distributions.
+	if rs.Latencies.Percentile(99) != ra.Latencies.Percentile(99) {
+		t.Fatalf("light-load adaptive P99 %v != static %v",
+			ra.Latencies.Percentile(99), rs.Latencies.Percentile(99))
+	}
+}
+
+func TestAdaptiveBeatsStaticBeyondGPUSaturation(t *testing.T) {
+	// GPU capacity = 1 server / 2ms = 500 q/s. Offer 650 q/s: the static
+	// Griffin plan queues on the device without bound, while the adaptive
+	// policy spills excess queries to the (otherwise idle) CPU pool.
+	traces := dualWork(800)
+	spec := Spec{CPUWorkers: 4, ArrivalRate: 650, Seed: 11}
+	static := make([][]Segment, len(traces))
+	for i := range traces {
+		static[i] = traces[i].Griffin
+	}
+	rs := Run(static, spec)
+	ra := RunAdaptive(traces, spec, 4)
+	if ra.Latencies.Percentile(99) >= rs.Latencies.Percentile(99) {
+		t.Fatalf("adaptive P99 %v not better than static %v past GPU saturation",
+			ra.Latencies.Percentile(99), rs.Latencies.Percentile(99))
+	}
+	// The spill must actually use the CPU pool.
+	if ra.CPUBusy <= rs.CPUBusy {
+		t.Fatalf("adaptive CPU utilization %.2f not above static %.2f",
+			ra.CPUBusy, rs.CPUBusy)
+	}
+}
+
+func TestSecondGPUServerRaisesSaturation(t *testing.T) {
+	// Doubling GPU servers halves device queueing at a rate that
+	// saturates a single device.
+	traces := make([][]Segment, 600)
+	for i := range traces {
+		traces[i] = []Segment{{ResGPU, 2 * time.Millisecond}}
+	}
+	spec1 := Spec{CPUWorkers: 4, GPUServers: 1, ArrivalRate: 650, Seed: 12}
+	spec2 := Spec{CPUWorkers: 4, GPUServers: 2, ArrivalRate: 650, Seed: 12}
+	r1 := Run(traces, spec1)
+	r2 := Run(traces, spec2)
+	if r2.Latencies.Percentile(99) >= r1.Latencies.Percentile(99) {
+		t.Fatalf("2 GPUs P99 %v not better than 1 GPU %v",
+			r2.Latencies.Percentile(99), r1.Latencies.Percentile(99))
+	}
+	if r2.GPUBusy >= 1 || r1.GPUBusy <= 0 {
+		t.Fatalf("utilizations implausible: 1gpu=%.2f 2gpu=%.2f", r1.GPUBusy, r2.GPUBusy)
+	}
+}
+
+func TestAdaptiveDegenerateSpecs(t *testing.T) {
+	if res := RunAdaptive(nil, Spec{CPUWorkers: 4, ArrivalRate: 10}, 1); res.Latencies.Count() != 0 {
+		t.Fatal("empty adaptive run produced latencies")
+	}
+	traces := dualWork(1)
+	if res := RunAdaptive(traces, Spec{CPUWorkers: 0, ArrivalRate: 10}, 1); res.Latencies.Count() != 0 {
+		t.Fatal("zero workers should not run")
+	}
+}

@@ -1,0 +1,141 @@
+package loadsim
+
+import (
+	"testing"
+	"time"
+
+	"griffin/internal/core"
+	"griffin/internal/sched"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSegmentsFromStats(t *testing.T) {
+	qs := core.QueryStats{
+		CPUTime: ms(12), // 2ms traced op + 10ms residual (ranking)
+		GPUTime: ms(7),  // 5ms traced op + 2ms residual (transfer)
+		Ops: []core.OpTrace{
+			{Where: sched.GPU, Took: ms(5)},
+			{Where: sched.CPU, Took: ms(2)},
+		},
+	}
+	segs := SegmentsFromStats(qs)
+	// Expect: GPU 5ms, CPU 2ms, GPU 2ms residual, CPU 10ms residual.
+	want := []Segment{
+		{ResGPU, ms(5)}, {ResCPU, ms(2)}, {ResGPU, ms(2)}, {ResCPU, ms(10)},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestSegmentsMergeAdjacent(t *testing.T) {
+	qs := core.QueryStats{
+		CPUTime: ms(5),
+		Ops: []core.OpTrace{
+			{Where: sched.CPU, Took: ms(2)},
+			{Where: sched.CPU, Took: ms(3)},
+		},
+	}
+	segs := SegmentsFromStats(qs)
+	if len(segs) != 1 || segs[0] != (Segment{ResCPU, ms(5)}) {
+		t.Fatalf("segments = %v, want one merged CPU 5ms", segs)
+	}
+}
+
+func TestLightLoadNoQueueing(t *testing.T) {
+	// At negligible load, response time equals service time.
+	traces := make([][]Segment, 50)
+	for i := range traces {
+		traces[i] = []Segment{{ResCPU, ms(1)}, {ResGPU, ms(1)}}
+	}
+	res := Run(traces, Spec{CPUWorkers: 4, ArrivalRate: 1, Seed: 1}) // 1 q/s, 2ms service
+	if got := res.Latencies.Max(); got > ms(3) {
+		t.Fatalf("max latency %v under light load, want ~2ms", got)
+	}
+	if res.Latencies.Count() != 50 {
+		t.Fatalf("completed %d queries", res.Latencies.Count())
+	}
+}
+
+func TestHeavyLoadQueues(t *testing.T) {
+	// Offered load far above capacity: latencies must blow up.
+	traces := make([][]Segment, 200)
+	for i := range traces {
+		traces[i] = []Segment{{ResCPU, ms(10)}}
+	}
+	// Capacity = 4 workers / 10ms = 400 q/s; offer 2000 q/s.
+	res := Run(traces, Spec{CPUWorkers: 4, ArrivalRate: 2000, Seed: 2})
+	if res.Latencies.Percentile(99) < ms(50) {
+		t.Fatalf("P99 %v under 5x overload, expected heavy queueing", res.Latencies.Percentile(99))
+	}
+	if res.CPUBusy < 0.5 {
+		t.Fatalf("CPU utilization %v under overload", res.CPUBusy)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	traces := [][]Segment{{{ResGPU, ms(10)}}}
+	res := Run(traces, Spec{CPUWorkers: 4, ArrivalRate: 100, Seed: 3})
+	if res.GPUBusy <= 0 || res.GPUBusy > 1 {
+		t.Fatalf("GPU utilization %v", res.GPUBusy)
+	}
+	if res.CPUBusy != 0 {
+		t.Fatalf("CPU utilization %v for GPU-only trace", res.CPUBusy)
+	}
+}
+
+func TestOffloadingHelpsUnderLoad(t *testing.T) {
+	// The system effect the hybrid design buys: the same work, run as
+	// CPU-only segments vs mostly-GPU segments, under an arrival rate the
+	// CPU pool alone cannot sustain.
+	n := 300
+	cpuOnly := make([][]Segment, n)
+	hybrid := make([][]Segment, n)
+	for i := range cpuOnly {
+		cpuOnly[i] = []Segment{{ResCPU, ms(8)}}
+		hybrid[i] = []Segment{{ResGPU, ms(2)}, {ResCPU, ms(1)}}
+	}
+	spec := Spec{CPUWorkers: 4, ArrivalRate: 450, Seed: 4}
+	rc := Run(cpuOnly, spec)
+	rh := Run(hybrid, spec)
+	if rh.Latencies.Percentile(99) >= rc.Latencies.Percentile(99) {
+		t.Fatalf("hybrid P99 %v not better than cpu-only P99 %v under load",
+			rh.Latencies.Percentile(99), rc.Latencies.Percentile(99))
+	}
+}
+
+func TestEmptyAndDegenerateSpecs(t *testing.T) {
+	if res := Run(nil, Spec{CPUWorkers: 4, ArrivalRate: 10, Seed: 5}); res.Latencies.Count() != 0 {
+		t.Fatal("empty traces produced latencies")
+	}
+	traces := [][]Segment{{{ResCPU, ms(1)}}}
+	if res := Run(traces, Spec{CPUWorkers: 0, ArrivalRate: 10}); res.Latencies.Count() != 0 {
+		t.Fatal("zero workers should not run")
+	}
+	if res := Run(traces, Spec{CPUWorkers: 4, ArrivalRate: 0}); res.Latencies.Count() != 0 {
+		t.Fatal("zero arrival rate should not run")
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	// Single worker, two queries arriving in order: the second waits for
+	// the first (no overtaking on one resource).
+	traces := [][]Segment{
+		{{ResCPU, ms(10)}},
+		{{ResCPU, ms(1)}},
+	}
+	res := Run(traces, Spec{CPUWorkers: 1, ArrivalRate: 1e6, Seed: 6})
+	// Both arrive ~immediately; total makespan ~11ms means serial service.
+	if res.Makespan < ms(10) {
+		t.Fatalf("makespan %v too small for serial service", res.Makespan)
+	}
+	if res.Latencies.Max() < ms(10) {
+		t.Fatalf("max latency %v: queueing not applied", res.Latencies.Max())
+	}
+}

@@ -1,0 +1,42 @@
+package pfordelta
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzRoundTrip drives the exception machinery with arbitrary gap
+// profiles: mixed tiny and huge gaps exercise exception chains, chain
+// re-linking (width widening), and block boundaries.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{0})
+	f.Add([]byte{255, 0, 255, 0}, []byte{20, 21})
+	f.Add([]byte{7}, []byte{30})
+	f.Fuzz(func(t *testing.T, gapBytes, bigShifts []byte) {
+		if len(gapBytes) == 0 || len(gapBytes) > 4096 {
+			return
+		}
+		ids := make([]uint32, len(gapBytes))
+		cur := uint32(0)
+		for i, g := range gapBytes {
+			gap := uint32(g) + 1
+			// Sprinkle huge gaps (exceptions) where bigShifts says so.
+			if len(bigShifts) > 0 && i%7 == 0 {
+				shift := bigShifts[i%len(bigShifts)] % 20
+				gap += 1 << shift
+			}
+			if cur > 1<<31 {
+				return // avoid uint32 overflow
+			}
+			cur += gap
+			ids[i] = cur
+		}
+		l, err := Compress(ids)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		if got := l.Decompress(); !reflect.DeepEqual(got, ids) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

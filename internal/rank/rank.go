@@ -1,0 +1,164 @@
+// Package rank implements the ranking stage of query processing (§2.1.3,
+// §3.1.3): BM25 similarity scoring over the surviving candidates, followed
+// by top-k selection. Three selectors are provided, matching the paper's
+// Figure-7 comparison: the CPU partial sort (a bounded heap, the winner
+// the paper adopts), and wrappers over the GPU radixSort and bucketSelect
+// kernels.
+package rank
+
+import (
+	"container/heap"
+	"math"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/kernels"
+)
+
+// BM25Params are the free parameters of the BM25 ranking model
+// (Robertson & Walker, SIGIR 1994). The defaults are the standard
+// k1 = 1.2, b = 0.75.
+type BM25Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultBM25 returns the conventional parameterization.
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.2, B: 0.75} }
+
+// Scorer evaluates BM25 against one index's collection statistics.
+type Scorer struct {
+	params BM25Params
+	ix     *index.Index
+}
+
+// NewScorer binds the parameters to an index.
+func NewScorer(ix *index.Index, params BM25Params) *Scorer {
+	return &Scorer{params: params, ix: ix}
+}
+
+// IDF returns the Robertson-Sparck-Jones idf for a term with document
+// frequency df, floored at a small positive value so very common terms
+// cannot produce negative contributions.
+func (s *Scorer) IDF(df int) float64 {
+	n := float64(s.ix.NumDocs)
+	idf := math.Log((n-float64(df)+0.5)/(float64(df)+0.5) + 1)
+	if idf < 1e-6 {
+		idf = 1e-6
+	}
+	return idf
+}
+
+// ScoreTerm returns one term's BM25 contribution for a document with term
+// frequency tf and length docLen.
+func (s *Scorer) ScoreTerm(df int, tf uint32, docLen uint32) float64 {
+	if tf == 0 {
+		return 0
+	}
+	k1, b := s.params.K1, s.params.B
+	avg := s.ix.AvgDocLen
+	if avg <= 0 {
+		avg = 1
+	}
+	f := float64(tf)
+	norm := f * (k1 + 1) / (f + k1*(1-b+b*float64(docLen)/avg))
+	return s.IDF(df) * norm
+}
+
+// ScoreCandidates computes the full BM25 score of every candidate against
+// the query's posting lists, returning scored docs plus the billable CPU
+// work.
+//
+// Billing note: in the paper's system each posting entry carries its
+// document frequency next to the docID (§2.1.3), so when an intersection
+// emits a qualified result the tf values are already in registers and
+// "its score is computed accordingly" — scoring is fused with
+// intersection at O(1) per candidate per term. This implementation keeps
+// frequencies in a parallel array and re-fetches them here for functional
+// simplicity; that re-fetch is an artifact of the representation, so only
+// the score arithmetic (ScoredDocs) is billed, anchored to Figure 7's
+// measured CPU ranking costs (~5 ms at 1M candidates).
+func (s *Scorer) ScoreCandidates(lists []*index.PostingList, candidates []uint32) ([]kernels.ScoredDoc, hwmodel.CPUWork) {
+	var work hwmodel.CPUWork
+	out := make([]kernels.ScoredDoc, len(candidates))
+	for i, d := range candidates {
+		var score float64
+		for _, pl := range lists {
+			tf, _, ok := pl.FreqForDoc(d)
+			if ok {
+				score += s.ScoreTerm(pl.N, tf, s.ix.DocLen(d))
+			}
+		}
+		work.ScoredDocs += int64(len(lists))
+		out[i] = kernels.ScoredDoc{DocID: d, Score: float32(score)}
+	}
+	return out, work
+}
+
+// docHeap is a bounded min-heap on score: the root is the weakest of the
+// current top-k, evicted when a stronger candidate arrives.
+type docHeap []kernels.ScoredDoc
+
+func (h docHeap) Len() int           { return len(h) }
+func (h docHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h docHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *docHeap) Push(x any)        { *h = append(*h, x.(kernels.ScoredDoc)) }
+func (h *docHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopKCPU selects the k highest-scoring docs with a bounded heap — the
+// "CPU partial_sort" contender of Figure 7 and the selector Griffin
+// adopts (small result sets cannot amortize GPU launch overheads).
+// Results are in descending score order.
+func TopKCPU(docs []kernels.ScoredDoc, k int) ([]kernels.ScoredDoc, hwmodel.CPUWork) {
+	var work hwmodel.CPUWork
+	if k <= 0 || len(docs) == 0 {
+		return nil, work
+	}
+	h := make(docHeap, 0, k)
+	for _, d := range docs {
+		work.HeapCandidates++
+		if len(h) < k {
+			heap.Push(&h, d)
+		} else if d.Score > h[0].Score {
+			h[0] = d
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]kernels.ScoredDoc, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(kernels.ScoredDoc)
+	}
+	return out, work
+}
+
+// TopKGPURadix ranks on the device with the brute-force radix sort
+// (Figure 7's "GPU radix sort"): uploads the candidates, sorts all of
+// them, reads back the top k.
+func TopKGPURadix(s *gpu.Stream, docs []kernels.ScoredDoc, k int) ([]kernels.ScoredDoc, error) {
+	buf, err := s.H2D(docs, int64(len(docs))*8)
+	if err != nil {
+		return nil, err
+	}
+	defer buf.Free()
+	out, _, err := kernels.RadixSortTopK(s, buf, k)
+	return out, err
+}
+
+// TopKGPUBucket ranks on the device with bucketSelect (Figure 7's "GPU
+// bucket select"): uploads the candidates, isolates the k-th max, selects.
+func TopKGPUBucket(s *gpu.Stream, docs []kernels.ScoredDoc, k int) ([]kernels.ScoredDoc, error) {
+	buf, err := s.H2D(docs, int64(len(docs))*8)
+	if err != nil {
+		return nil, err
+	}
+	defer buf.Free()
+	out, _, err := kernels.BucketSelectTopK(s, buf, k)
+	return out, err
+}

@@ -1,0 +1,248 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/kernels"
+)
+
+func buildTestIndex(t testing.TB) *index.Index {
+	t.Helper()
+	b := index.NewBuilder(index.CodecEF)
+	docs := []struct {
+		id     uint32
+		tokens []string
+	}{
+		{0, []string{"apple", "banana", "apple"}},
+		{1, []string{"banana", "cherry"}},
+		{2, []string{"apple", "cherry", "cherry", "cherry"}},
+		{3, []string{"durian"}},
+		{4, []string{"apple", "banana", "cherry", "durian", "elderberry"}},
+	}
+	for _, d := range docs {
+		if err := b.AddDocument(d.id, d.tokens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIDFDecreasesWithDF(t *testing.T) {
+	ix := buildTestIndex(t)
+	s := NewScorer(ix, DefaultBM25())
+	if s.IDF(1) <= s.IDF(3) {
+		t.Fatal("rarer terms must have higher IDF")
+	}
+	if s.IDF(ix.NumDocs) <= 0 {
+		t.Fatal("IDF must stay positive")
+	}
+}
+
+func TestScoreTermBehaviour(t *testing.T) {
+	ix := buildTestIndex(t)
+	s := NewScorer(ix, DefaultBM25())
+	if s.ScoreTerm(2, 0, 10) != 0 {
+		t.Fatal("zero tf must score zero")
+	}
+	// Higher tf scores higher, with diminishing returns.
+	s1, s2, s3 := s.ScoreTerm(2, 1, 10), s.ScoreTerm(2, 2, 10), s.ScoreTerm(2, 3, 10)
+	if !(s1 < s2 && s2 < s3) {
+		t.Fatalf("tf monotonicity violated: %v %v %v", s1, s2, s3)
+	}
+	if s2-s1 <= s3-s2 {
+		t.Fatal("tf saturation (concavity) violated")
+	}
+	// Longer docs are penalized at equal tf.
+	if s.ScoreTerm(2, 2, 100) >= s.ScoreTerm(2, 2, 2) {
+		t.Fatal("length normalization violated")
+	}
+}
+
+func TestScoreCandidates(t *testing.T) {
+	ix := buildTestIndex(t)
+	s := NewScorer(ix, DefaultBM25())
+	apple, _ := ix.Lookup("apple")
+	cherry, _ := ix.Lookup("cherry")
+	lists := []*index.PostingList{apple, cherry}
+
+	scored, work := s.ScoreCandidates(lists, []uint32{2, 4})
+	if len(scored) != 2 {
+		t.Fatalf("scored %d docs", len(scored))
+	}
+	// Doc 2 has tf(cherry)=3 and is shorter than doc 4: it must outrank.
+	if scored[0].DocID != 2 && scored[0].Score <= scored[1].Score {
+		t.Fatalf("unexpected ordering: %+v", scored)
+	}
+	byID := map[uint32]float32{}
+	for _, d := range scored {
+		byID[d.DocID] = d.Score
+	}
+	if byID[2] <= byID[4] {
+		t.Fatalf("doc 2 (%v) should outscore doc 4 (%v)", byID[2], byID[4])
+	}
+	if work.ScoredDocs != 4 {
+		t.Fatalf("work accounting: %+v", work)
+	}
+	// Frequency re-fetch is a representation artifact, not billable work
+	// (tf travels with the posting entry in the paper's layout, §2.1.3).
+	if work.BinaryProbes != 0 {
+		t.Fatalf("scoring billed probes: %+v", work)
+	}
+}
+
+func TestFreqForDocAgainstIndex(t *testing.T) {
+	ix := buildTestIndex(t)
+	apple, _ := ix.Lookup("apple")
+	tf, _, ok := apple.FreqForDoc(0)
+	if !ok || tf != 2 {
+		t.Fatalf("FreqForDoc(0) = %d,%v want 2,true", tf, ok)
+	}
+	if _, _, ok := apple.FreqForDoc(3); ok {
+		t.Fatal("doc 3 does not contain apple")
+	}
+	if _, _, ok := apple.FreqForDoc(99); ok {
+		t.Fatal("doc 99 does not exist")
+	}
+}
+
+func genScored(rng *rand.Rand, n int) []kernels.ScoredDoc {
+	out := make([]kernels.ScoredDoc, n)
+	for i := range out {
+		out[i] = kernels.ScoredDoc{DocID: uint32(i), Score: float32(rng.NormFloat64())}
+	}
+	return out
+}
+
+func refTopK(docs []kernels.ScoredDoc, k int) []float32 {
+	cp := make([]kernels.ScoredDoc, len(docs))
+	copy(cp, docs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Score > cp[j].Score })
+	if k > len(cp) {
+		k = len(cp)
+	}
+	out := make([]float32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cp[i].Score
+	}
+	return out
+}
+
+func TestTopKCPUMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, n := range []int{0, 1, 10, 1000, 50000} {
+		for _, k := range []int{1, 10, 100} {
+			docs := genScored(rng, n)
+			got, work := TopKCPU(docs, k)
+			want := refTopK(docs, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d results, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Score != want[i] {
+					t.Fatalf("n=%d k=%d: rank %d score %v, want %v", n, k, i, got[i].Score, want[i])
+				}
+			}
+			if n > 0 && work.HeapCandidates != int64(n) {
+				t.Fatalf("HeapCandidates = %d, want %d", work.HeapCandidates, n)
+			}
+		}
+	}
+}
+
+func TestTopKCPUZeroK(t *testing.T) {
+	got, _ := TopKCPU(genScored(rand.New(rand.NewSource(91)), 10), 0)
+	if len(got) != 0 {
+		t.Fatal("k=0 must return nothing")
+	}
+}
+
+func TestGPURankersMatchCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	docs := genScored(rng, 5000)
+	want := refTopK(docs, 10)
+
+	radix, err := TopKGPURadix(dev.NewStream(), docs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucket, err := TopKGPUBucket(dev.NewStream(), docs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if radix[i].Score != want[i] {
+			t.Fatalf("radix rank %d: %v want %v", i, radix[i].Score, want[i])
+		}
+		if bucket[i].Score != want[i] {
+			t.Fatalf("bucket rank %d: %v want %v", i, bucket[i].Score, want[i])
+		}
+	}
+}
+
+func TestFigure7ShapeCPUWinsOnSmallResults(t *testing.T) {
+	// Figure 7's conclusion: for realistic result-list sizes (queries
+	// "rarely result in more than several thousands matches"), the CPU
+	// partial sort beats both GPU rankers on simulated time.
+	rng := rand.New(rand.NewSource(93))
+	cpuModel := hwmodel.DefaultCPU()
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	docs := genScored(rng, 2000)
+
+	_, work := TopKCPU(docs, 10)
+	cpuTime := cpuModel.Time(work)
+
+	sRadix := dev.NewStream()
+	if _, err := TopKGPURadix(sRadix, docs, 10); err != nil {
+		t.Fatal(err)
+	}
+	sBucket := dev.NewStream()
+	if _, err := TopKGPUBucket(sBucket, docs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if cpuTime >= sRadix.Elapsed() || cpuTime >= sBucket.Elapsed() {
+		t.Fatalf("CPU %v should beat GPU radix %v and bucket %v at 2K candidates",
+			cpuTime, sRadix.Elapsed(), sBucket.Elapsed())
+	}
+}
+
+func TestScorerHandlesDegenerateStats(t *testing.T) {
+	// An index with zero average doc length must not divide by zero.
+	ix := &index.Index{NumDocs: 1}
+	s := NewScorer(ix, DefaultBM25())
+	v := s.ScoreTerm(1, 3, 7)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("degenerate stats produced %v", v)
+	}
+}
+
+func BenchmarkTopKCPU100K(b *testing.B) {
+	rng := rand.New(rand.NewSource(94))
+	docs := genScored(rng, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKCPU(docs, 10)
+	}
+}
+
+func BenchmarkScoreCandidates(b *testing.B) {
+	ix := buildTestIndex(b)
+	s := NewScorer(ix, DefaultBM25())
+	apple, _ := ix.Lookup("apple")
+	lists := []*index.PostingList{apple}
+	cands := []uint32{0, 2, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreCandidates(lists, cands)
+	}
+}

@@ -1,0 +1,79 @@
+package sched
+
+import "testing"
+
+func TestCostPolicyAgreesWithRatioAtExtremes(t *testing.T) {
+	// Both policies are proxies for the same cost comparison; they must
+	// agree well away from the crossover.
+	cost := NewCostPolicy()
+	ratio := NewRatioPolicy()
+	cases := []struct {
+		short, long int
+	}{
+		{500_000, 1_000_000}, // ratio 2: clearly GPU at this scale
+		{200_000, 1_500_000}, // ratio 7.5: GPU
+		{1_000, 1_500_000},   // ratio 1500: clearly CPU
+		{300, 1_000_000},     // ratio 3333: CPU
+	}
+	for _, c := range cases {
+		dc := cost.Fresh().Decide(c.short, c.long)
+		dr := ratio.Fresh().(*RatioPolicy).Decide(c.short, c.long)
+		if dc.Where != dr.Where {
+			t.Errorf("short=%d long=%d: cost says %v, ratio says %v",
+				c.short, c.long, dc.Where, dr.Where)
+		}
+	}
+}
+
+func TestCostPolicyCrossoverNearRatioThreshold(t *testing.T) {
+	// The cost estimator's crossover on paper-sized long lists should
+	// land within an octave or two of the paper's 128 — it is the same
+	// trade-off measured two ways.
+	longLen := 1_500_000
+	p := NewCostPolicy()
+	crossover := 0
+	for ratio := 2; ratio <= 4096; ratio *= 2 {
+		d := p.Fresh().Decide(longLen/ratio, longLen)
+		if d.Where == CPU {
+			crossover = ratio
+			break
+		}
+	}
+	if crossover < 32 || crossover > 1024 {
+		t.Fatalf("cost crossover at ratio %d, expected within [32,1024]", crossover)
+	}
+}
+
+func TestCostPolicySmallListsStayOnCPU(t *testing.T) {
+	// Tiny comparable lists: fixed GPU overheads dominate, so the cost
+	// policy keeps them on the CPU — a case the pure ratio rule gets
+	// wrong (ratio 1 would say GPU).
+	p := NewCostPolicy()
+	if d := p.Fresh().Decide(500, 800); d.Where != CPU {
+		t.Fatal("tiny lists scheduled on GPU despite fixed overheads")
+	}
+}
+
+func TestCostPolicySticky(t *testing.T) {
+	p := NewCostPolicy()
+	if d := p.Decide(500_000, 1_000_000); d.Where != GPU {
+		t.Fatal("large comparable pair should start on GPU")
+	}
+	if d := p.Decide(100, 1_000_000); d.Where != CPU {
+		t.Fatal("skewed pair should migrate")
+	}
+	if d := p.Decide(500_000, 1_000_000); d.Where != CPU {
+		t.Fatal("sticky cost policy returned to GPU")
+	}
+	q := p.Fresh().(*CostPolicy)
+	if d := q.Decide(500_000, 1_000_000); d.Where != GPU {
+		t.Fatal("Fresh did not reset migration")
+	}
+}
+
+func TestCostPolicyZeroShort(t *testing.T) {
+	p := NewCostPolicy()
+	if d := p.Decide(0, 100); d.Where != CPU {
+		t.Fatal("empty short operand must not go to GPU")
+	}
+}

@@ -1,0 +1,146 @@
+// Package server exposes a Griffin engine as a small JSON-over-HTTP
+// search service — the deployment surface an interactive IR system (the
+// paper's motivating setting) actually presents to clients. Handlers are
+// safe for concurrent requests; each request maps to one Engine.Search,
+// so the per-request simulated latency reported in responses is the
+// paper's per-query metric.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"griffin/internal/core"
+	"griffin/internal/index"
+)
+
+// Server routes search traffic to an engine.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+
+	queries  atomic.Int64
+	errors   atomic.Int64
+	simNanos atomic.Int64
+}
+
+// New wraps an engine. The engine must outlive the server.
+func New(engine *core.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statz", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SearchResponse is the /search reply body.
+type SearchResponse struct {
+	Query      []string  `json:"query"`
+	Candidates int       `json:"candidates"`
+	LatencyMS  float64   `json:"simulated_latency_ms"`
+	Migrated   bool      `json:"migrated"`
+	Results    []HitJSON `json:"results"`
+}
+
+// HitJSON is one ranked result.
+type HitJSON struct {
+	DocID uint32  `json:"doc_id"`
+	Score float32 `json:"score"`
+}
+
+// handleSearch serves GET /search?q=terms+separated+by+spaces[&k=10].
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+		return
+	}
+	terms := index.Tokenize(q)
+	if len(terms) == 0 {
+		http.Error(w, "query has no indexable terms", http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 || v > 1000 {
+			http.Error(w, `parameter "k" must be an integer in [1,1000]`, http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+
+	res, err := s.engine.Search(terms)
+	if err != nil {
+		s.errors.Add(1)
+		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.queries.Add(1)
+	s.simNanos.Add(int64(res.Stats.Latency))
+
+	hits := res.Docs
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	resp := SearchResponse{
+		Query:      terms,
+		Candidates: res.Stats.Candidates,
+		LatencyMS:  float64(res.Stats.Latency) / float64(time.Millisecond),
+		Migrated:   res.Stats.Migrated,
+		Results:    make([]HitJSON, len(hits)),
+	}
+	for i, h := range hits {
+		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
+	}
+	writeJSON(w, resp)
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"docs":   s.engine.Index().NumDocs,
+		"terms":  s.engine.Index().NumTerms(),
+		"mode":   s.engine.Mode().String(),
+	})
+}
+
+// StatsResponse is the /statz reply body.
+type StatsResponse struct {
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	MeanLatencyMS float64 `json:"mean_simulated_latency_ms"`
+	CachedLists   int     `json:"cached_lists"`
+}
+
+// handleStats serves GET /statz.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	n := s.queries.Load()
+	mean := 0.0
+	if n > 0 {
+		mean = float64(s.simNanos.Load()) / float64(n) / float64(time.Millisecond)
+	}
+	writeJSON(w, StatsResponse{
+		Queries:       n,
+		Errors:        s.errors.Load(),
+		MeanLatencyMS: mean,
+		CachedLists:   s.engine.CachedLists(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"griffin/internal/core"
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	b := index.NewBuilder(index.CodecEF)
+	docs := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"a quick brown dog outpaces a lazy fox",
+		"graphics processors accelerate retrieval",
+		"posting lists intersect quickly on devices",
+	}
+	for i, text := range docs {
+		if err := b.AddDocument(uint32(i), index.Tokenize(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	e, err := core.New(ix, core.Config{Mode: core.Hybrid, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(e)
+}
+
+func get(t *testing.T, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	rec, body := get(t, srv, "/search?q=quick+fox")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Candidates != 2 || len(resp.Results) != 2 {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if resp.LatencyMS <= 0 {
+		t.Fatal("no simulated latency reported")
+	}
+	for _, h := range resp.Results {
+		if h.DocID != 0 && h.DocID != 1 {
+			t.Fatalf("wrong doc %d", h.DocID)
+		}
+	}
+}
+
+func TestSearchKParameter(t *testing.T) {
+	srv := newTestServer(t)
+	_, body := get(t, srv, "/search?q=quick+fox&k=1")
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("k=1 returned %d results", len(resp.Results))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []string{
+		"/search",                 // missing q
+		"/search?q=",              // empty q
+		"/search?q=%21%40%23",     // tokenizes to nothing
+		"/search?q=fox&k=0",       // bad k
+		"/search?q=fox&k=99999",   // k too large
+		"/search?q=fox&k=notanum", // non-numeric k
+	}
+	for _, path := range cases {
+		rec, _ := get(t, srv, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestSearchNoMatches(t *testing.T) {
+	srv := newTestServer(t)
+	rec, body := get(t, srv, "/search?q=nonexistent+words")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Candidates != 0 || len(resp.Results) != 0 {
+		t.Fatalf("expected empty result: %+v", resp)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv := newTestServer(t)
+	rec, body := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["mode"] != "griffin" {
+		t.Fatalf("health: %v", health)
+	}
+
+	// Issue a couple of searches, then check counters.
+	get(t, srv, "/search?q=quick+fox")
+	get(t, srv, "/search?q=lazy+dog")
+	_, body = get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 2 || st.Errors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MeanLatencyMS <= 0 {
+		t.Fatal("mean latency not aggregated")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	srv := newTestServer(t)
+	var wg sync.WaitGroup
+	codes := make([]int, 20)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, _ := get(t, srv, "/search?q=quick+brown")
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package workload synthesizes the evaluation inputs the paper draws from
+// ClueWeb12 and the TREC 2005/2006 efficiency-track query logs (§4.2),
+// which are not redistributable here. The generator reproduces the two
+// measured properties every experiment depends on:
+//
+//   - Figure 10's inverted-list size distribution: most lists between 1K
+//     and 1M elements with a tail to tens of millions, modeled with
+//     Zipfian document frequencies over the docID space;
+//   - Figure 11's query term-count distribution: ~27% two-term, ~33%
+//     three-term, ~24% four-term queries, with a small tail beyond six.
+//
+// All generation is deterministic given the spec's seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"griffin/internal/index"
+)
+
+// CorpusSpec parameterizes synthetic corpus generation.
+type CorpusSpec struct {
+	// NumDocs is the docID universe (the paper's subset: 41M documents;
+	// scale down for tests).
+	NumDocs int
+	// NumTerms is the dictionary size.
+	NumTerms int
+	// MaxListLen caps the most frequent term's posting count.
+	MaxListLen int
+	// MinListLen floors the rarest term's posting count.
+	MinListLen int
+	// Alpha is the Zipf exponent of document frequency by term rank
+	// (web text: ~0.7-1.1).
+	Alpha float64
+	// Codec selects which compressed forms to materialize.
+	Codec index.Codec
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultCorpusSpec returns a laptop-scale corpus whose list-size CDF
+// matches Figure 10's shape (1K-26M in the paper; scaled to the configured
+// MaxListLen here).
+func DefaultCorpusSpec() CorpusSpec {
+	return CorpusSpec{
+		NumDocs:    4_000_000,
+		NumTerms:   2_000,
+		MaxListLen: 2_000_000,
+		MinListLen: 1_000,
+		Alpha:      0.85,
+		Codec:      index.CodecEF,
+		Seed:       1,
+	}
+}
+
+// Corpus is a generated synthetic collection.
+type Corpus struct {
+	Index *index.Index
+	// Terms are dictionary terms ordered by descending posting count
+	// (rank 0 = most frequent).
+	Terms []string
+	// Sizes[i] is the posting count of Terms[i].
+	Sizes []int
+}
+
+// TermName returns the synthetic term for rank r.
+func TermName(r int) string { return fmt.Sprintf("t%06d", r) }
+
+// GenerateCorpus builds a synthetic inverted index per the spec.
+func GenerateCorpus(spec CorpusSpec) (*Corpus, error) {
+	if spec.NumDocs <= 0 || spec.NumTerms <= 0 {
+		return nil, fmt.Errorf("workload: invalid spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := index.NewBuilder(spec.Codec)
+	c := &Corpus{
+		Terms: make([]string, spec.NumTerms),
+		Sizes: make([]int, spec.NumTerms),
+	}
+	for r := 0; r < spec.NumTerms; r++ {
+		n := int(float64(spec.MaxListLen) / math.Pow(float64(r+1), spec.Alpha))
+		if n < spec.MinListLen {
+			n = spec.MinListLen
+		}
+		if n > spec.NumDocs {
+			n = spec.NumDocs
+		}
+		term := TermName(r)
+		ids := GenList(rng, n, uint32(spec.NumDocs))
+		freqs := make([]uint32, len(ids))
+		for i := range freqs {
+			freqs[i] = 1 + uint32(rng.Intn(4))
+		}
+		if err := b.AddPostings(term, ids, freqs); err != nil {
+			return nil, err
+		}
+		c.Terms[r] = term
+		c.Sizes[r] = len(ids)
+	}
+	// Document lengths: lognormal-ish around 400 tokens (web pages).
+	maxDoc := uint32(spec.NumDocs - 1)
+	b.SetDocLen(maxDoc, 400)
+	for d := 0; d < spec.NumDocs; d += 1 + spec.NumDocs/100_000 {
+		b.SetDocLen(uint32(d), uint32(100+rng.Intn(700)))
+	}
+	ix, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if ix.AvgDocLen == 0 {
+		ix.AvgDocLen = 400
+	}
+	c.Index = ix
+	return c, nil
+}
+
+// GenList generates n strictly ascending docIDs spread over [0, universe)
+// using the random-gap method; the result may be slightly shorter than n
+// when the universe is tight.
+func GenList(rng *rand.Rand, n int, universe uint32) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	if uint32(n) > universe {
+		n = int(universe)
+	}
+	avgGap := float64(universe) / float64(n)
+	out := make([]uint32, 0, n)
+	cur := int64(-1)
+	for len(out) < n {
+		gap := int64(1)
+		if avgGap > 1 {
+			gap = 1 + int64(rng.ExpFloat64()*(avgGap-1)+0.5)
+		}
+		cur += gap
+		if cur >= int64(universe) {
+			break
+		}
+		out = append(out, uint32(cur))
+	}
+	return out
+}
+
+// GenPair generates an overlapping pair of ascending lists: the shorter
+// with nShort elements, the longer with nLong, sharing ~overlap of the
+// shorter list. Used by the Figure 8/12/13 microbenchmarks, which select
+// pairs by length ratio.
+func GenPair(rng *rand.Rand, nShort, nLong int, universe uint32, overlap float64) (short, long []uint32) {
+	long = GenList(rng, nLong, universe)
+	if len(long) == 0 {
+		return nil, nil
+	}
+	// Short list: a mix of elements sampled from long (the overlap) and
+	// fresh values (offset by 1 from a long element when possible so they
+	// miss).
+	seen := make(map[uint32]bool, nShort)
+	short = make([]uint32, 0, nShort)
+	for len(short) < nShort && len(seen) < len(long) {
+		v := long[rng.Intn(len(long))]
+		if rng.Float64() >= overlap {
+			v++ // usually misses; may accidentally hit, which is fine
+		}
+		if !seen[v] {
+			seen[v] = true
+			short = append(short, v)
+		}
+	}
+	sort.Slice(short, func(i, j int) bool { return short[i] < short[j] })
+	return short, long
+}
+
+// Query is one synthetic search request.
+type Query struct {
+	Terms []string
+}
+
+// QuerySpec parameterizes query-log synthesis.
+type QuerySpec struct {
+	// NumQueries is the log length (the paper runs 10,000).
+	NumQueries int
+	// PopularityAlpha skews term selection toward frequent terms (query
+	// terms are popular terms; 0 = uniform).
+	PopularityAlpha float64
+	// StopwordRanks excludes the most frequent term ranks from query
+	// sampling, modeling the stopword removal standard in IR pipelines
+	// (the TREC efficiency-track queries the paper replays are real user
+	// queries; function words never reach the index).
+	StopwordRanks int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultQuerySpec matches the paper's 10K-query log, dropping the top
+// 0.5% of term ranks as stopwords.
+func DefaultQuerySpec() QuerySpec {
+	return QuerySpec{NumQueries: 10_000, PopularityAlpha: 0.45, Seed: 2}
+}
+
+// termCountDist is Figure 11's distribution: P(#terms = k).
+var termCountDist = []struct {
+	terms int
+	p     float64
+}{
+	{2, 0.27}, {3, 0.33}, {4, 0.24}, {5, 0.09}, {6, 0.04},
+	{7, 0.015}, {8, 0.01}, {9, 0.005},
+}
+
+// SampleTermCount draws a query length from Figure 11's distribution.
+func SampleTermCount(rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for _, e := range termCountDist {
+		acc += e.p
+		if u < acc {
+			return e.terms
+		}
+	}
+	return 10
+}
+
+// GenerateQueryLog synthesizes a query log over the corpus: term counts
+// from Figure 11, terms drawn Zipf-weighted by popularity rank without
+// replacement within a query.
+func GenerateQueryLog(c *Corpus, spec QuerySpec) []Query {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	out := make([]Query, spec.NumQueries)
+	nTerms := len(c.Terms)
+	base := spec.StopwordRanks
+	if base >= nTerms {
+		base = nTerms - 1
+	}
+	sampleable := nTerms - base
+	for q := range out {
+		k := SampleTermCount(rng)
+		if k > sampleable {
+			k = sampleable
+		}
+		used := make(map[int]bool, k)
+		terms := make([]string, 0, k)
+		for len(terms) < k {
+			r := base + sampleZipfRank(rng, sampleable, spec.PopularityAlpha)
+			if used[r] {
+				continue
+			}
+			used[r] = true
+			terms = append(terms, c.Terms[r])
+		}
+		out[q] = Query{Terms: terms}
+	}
+	return out
+}
+
+// sampleZipfRank draws a rank in [0, n) with P(r) proportional to
+// 1/(r+1)^alpha via inverse-CDF on the continuous approximation.
+func sampleZipfRank(rng *rand.Rand, n int, alpha float64) int {
+	if alpha <= 0 {
+		return rng.Intn(n)
+	}
+	// Continuous Zipf: CDF^-1(u) ~ ((n+1)^(1-a) - 1)*u + 1)^(1/(1-a)) - 1
+	// for a != 1; handle a == 1 with the exponential form.
+	u := rng.Float64()
+	if math.Abs(alpha-1) < 1e-9 {
+		r := int(math.Exp(u*math.Log(float64(n)+1))) - 1
+		if r >= n {
+			r = n - 1
+		}
+		return r
+	}
+	oneMinus := 1 - alpha
+	x := math.Pow((math.Pow(float64(n)+1, oneMinus)-1)*u+1, 1/oneMinus) - 1
+	r := int(x)
+	if r >= n {
+		r = n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
