@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	griffin-bench [-scale 0.2] [-seed 1] [-only table1,fig8,...]
+//	griffin-bench [-scale 0.2] [-seed 1] [-only table1,fig8,...] [-json out.json]
 //
 // Scale 1.0 approximates the paper's data sizes (several minutes);
 // the default 0.2 finishes in about a minute. Absolute times are
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
+	jsonPath := flag.String("json", "", "also write all tables as one JSON document to this path")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -48,6 +50,7 @@ func main() {
 		}
 	}
 	run := func(name string) bool { return len(want) == 0 || want[name] }
+	var jsonTables []experiments.TableJSON
 	emit := func(t *experiments.Table) {
 		fmt.Println(t.Render())
 		if *csvDir != "" {
@@ -55,6 +58,9 @@ func main() {
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				exitOn(err)
 			}
+		}
+		if *jsonPath != "" {
+			jsonTables = append(jsonTables, t.JSON())
 		}
 	}
 
@@ -143,7 +149,31 @@ func main() {
 		}
 	}
 
+	if *jsonPath != "" {
+		doc := benchJSON{
+			Scale:      *scale,
+			Seed:       *seed,
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			WallTimeMS: time.Since(start).Milliseconds(),
+			Tables:     jsonTables,
+		}
+		data, err := json.MarshalIndent(&doc, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %d tables to %s\n", len(jsonTables), *jsonPath)
+	}
+
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// benchJSON is the -json output document: one object per figure/table
+// plus the run's provenance.
+type benchJSON struct {
+	Scale      float64                 `json:"scale"`
+	Seed       int64                   `json:"seed"`
+	Generated  string                  `json:"generated"`
+	WallTimeMS int64                   `json:"wall_time_ms"`
+	Tables     []experiments.TableJSON `json:"tables"`
 }
 
 func exitOn(err error) {

@@ -83,6 +83,20 @@ func main() {
 		fmt.Printf("  %-12s -> %-3s  ratio %7.1f  |short|=%-8d |long|=%-8d out=%-7d %v\n",
 			op.Stage, op.Where, op.Ratio, op.ShortLen, op.LongLen, op.OutLen, op.Took)
 	}
+	fmt.Printf("\nphysical plan (one line per executed operator):\n")
+	for _, op := range res.Stats.Plan {
+		algo := op.Algo.String()
+		if algo != "" {
+			algo = " [" + algo + "]"
+		}
+		term := op.Term
+		if term != "" {
+			term = " " + term
+		}
+		fmt.Printf("  %-10s -> %-3s%-15s  in=%-8d out=%-8d took %-12v est %v\n",
+			op.Kind, op.Where, algo+term, op.NIn, op.NOut, op.Took, op.Est)
+	}
+
 	fmt.Printf("\nmigrated GPU->CPU: %v\n", res.Stats.Migrated)
 	fmt.Printf("simulated latency: %.3f ms (GPU %.3f ms + CPU %.3f ms)\n",
 		float64(res.Stats.Latency.Microseconds())/1000,

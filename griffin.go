@@ -77,6 +77,15 @@ type Result = core.Result
 // QueryStats is the per-query simulated execution record.
 type QueryStats = core.QueryStats
 
+// OpTrace records one scheduled intersection of a query (QueryStats.Ops).
+type OpTrace = core.OpTrace
+
+// PlanRecord is one executed operator of a query's physical plan
+// (QueryStats.Plan): the finer-grained trace beneath OpTrace, covering
+// fetches, uploads, decompressions, intersections, migrations, scoring,
+// and top-k selection, each with its measured and estimated cost.
+type PlanRecord = core.PlanRecord
+
 // BatchResult pairs one query of a SearchBatch call with its outcome.
 type BatchResult = core.BatchResult
 

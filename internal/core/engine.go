@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"griffin/internal/exec"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
@@ -196,414 +197,100 @@ func (e *Engine) Index() *index.Index { return e.ix }
 func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
 // OpTrace records one intersection's placement and outcome — the
-// scheduler visibility the examples and experiments inspect.
-type OpTrace struct {
-	Stage    string
-	Where    sched.Processor
-	Ratio    float64
-	ShortLen int
-	LongLen  int
-	OutLen   int
-	Took     time.Duration
-}
+// scheduler visibility the examples and experiments inspect. It is the
+// exec layer's trace type re-exported for engine callers.
+type OpTrace = exec.OpTrace
 
-// QueryStats aggregates one query's simulated execution.
-type QueryStats struct {
-	// Latency is the end-to-end simulated response time.
-	Latency time.Duration
-	// CPUTime and GPUTime split the latency by processor.
-	CPUTime time.Duration
-	GPUTime time.Duration
-	// Migrated reports whether a Hybrid query moved from GPU to CPU.
-	Migrated bool
-	// Candidates is the final intersection size entering ranking.
-	Candidates int
-	// Ops traces each intersection.
-	Ops []OpTrace
-}
+// QueryStats aggregates one query's simulated execution (the exec
+// layer's record, including the full physical-plan trace in Plan).
+type QueryStats = exec.QueryStats
+
+// PlanRecord is one executed operator of a query's physical plan.
+type PlanRecord = exec.OpRecord
 
 // Result is a completed query.
 type Result struct {
-	// Docs are the top-k results, descending by score.
+	// Docs are the top-k results, descending by score. Non-nil whenever
+	// the query executed (including empty-conjunction queries).
 	Docs []kernels.ScoredDoc
 	// Stats is the simulated execution record.
 	Stats QueryStats
-
-	candidates []uint32
 }
 
 // Search runs one conjunctive query and returns the top-k scored docs.
-// Terms missing from the index make the conjunction empty.
+// Terms missing from the index make the conjunction empty: the result is
+// well-formed (non-nil empty Docs, fetch ops traced, latency set) rather
+// than a zero value.
+//
+// Execution is plan-based: the engine's Mode selects a plan builder, and
+// the exec layer's single executor walks the resulting operator pipeline
+// (fetch → upload/decompress → intersect → migrate → score → top-k) on
+// one shared simulated timeline.
 func (e *Engine) Search(terms []string) (*Result, error) {
-	lists := make([]*index.PostingList, 0, len(terms))
-	for _, t := range terms {
-		pl, ok := e.ix.Lookup(t)
-		if !ok {
-			return &Result{}, nil
+	fetches := make([]exec.Fetch, len(terms))
+	for i, t := range terms {
+		fetches[i] = exec.Fetch{Term: t}
+		if pl, ok := e.ix.Lookup(t); ok {
+			fetches[i].List = pl
 		}
-		lists = append(lists, pl)
 	}
-	if len(lists) == 0 {
-		return &Result{}, nil
+	ctx := &exec.Context{
+		CPU:           e.cfg.CPU,
+		Device:        e.cfg.Device,
+		Lists:         e.listProvider(),
+		Scorer:        e.scorer,
+		SkipThreshold: e.cfg.CPUSkipThreshold,
+		TopK:          e.cfg.TopK,
 	}
+	out, err := exec.Run(ctx, fetches, e.planBuilder)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Docs: out.Docs, Stats: out.Stats}, nil
+}
 
-	// SvS ordering: ascending by length (§2.1.2).
-	views := make([]index.BlockList, len(lists))
-	for i, pl := range lists {
-		views[i] = index.EFView{L: pl.EF}
-	}
-	order := intersect.OrderByLength(views)
-	ordered := make([]*index.PostingList, len(order))
-	for i, oi := range order {
-		ordered[i] = lists[oi]
-	}
-
-	var res *Result
-	var err error
+// planBuilder maps the engine's Mode to its plan builder — the only
+// thing the four execution modes differ in.
+func (e *Engine) planBuilder(ordered []*index.PostingList) exec.Builder {
 	switch e.cfg.Mode {
 	case CPUOnly:
-		res = e.searchCPU(ordered)
+		return exec.NewCPUBuilder(ordered)
 	case GPUOnly:
-		res, err = e.searchGPU(ordered)
+		return exec.NewGPUBuilder(ordered, e.cfg.GPUCrossover)
 	case PerQueryHybrid:
-		res, err = e.searchPerQuery(ordered)
+		return exec.NewPerQueryBuilder(ordered, e.cfg.Policy, e.cfg.GPUCrossover)
 	default:
-		res, err = e.searchHybrid(ordered)
+		return exec.NewHybridBuilder(ordered, e.cfg.Policy, e.cfg.GPUCrossover)
 	}
+}
+
+// listProvider exposes the engine's resident-list cache to cacheable
+// Upload operators; without caching, uploads go straight over PCIe.
+func (e *Engine) listProvider() exec.ListProvider {
+	if e.cache == nil {
+		return nil
+	}
+	return cacheProvider{cache: e.cache}
+}
+
+// cacheProvider adapts listCache to the executor's ListProvider: cache
+// hits skip the PCIe transfer, successful puts hand ownership to the
+// cache (the executor only drops the reference), and full-cache misses
+// leave the buffer executor-owned.
+type cacheProvider struct {
+	cache *listCache
+}
+
+func (p cacheProvider) DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (exec.DeviceList, error) {
+	if buf, release, ok := p.cache.get(pl.Term); ok {
+		return exec.DeviceList{Buf: buf, Release: release}, nil // already resident: no PCIe transfer
+	}
+	comp, err := kernels.UploadEF(s, pl.EF)
 	if err != nil {
-		return nil, err
+		return exec.DeviceList{}, err
 	}
-
-	e.rankOnCPU(res, lists)
-	res.Stats.Latency = res.Stats.CPUTime + res.Stats.GPUTime
-	return res, nil
-}
-
-// trace appends an op record.
-func (r *Result) trace(where sched.Processor, ratio float64, shortLen, longLen, outLen int, took time.Duration) {
-	r.Stats.Ops = append(r.Stats.Ops, OpTrace{
-		Stage:    fmt.Sprintf("intersect#%d", len(r.Stats.Ops)),
-		Where:    where,
-		Ratio:    ratio,
-		ShortLen: shortLen,
-		LongLen:  longLen,
-		OutLen:   outLen,
-		Took:     took,
-	})
-}
-
-// cpuPair runs one CPU intersection and books its time.
-func (e *Engine) cpuPair(res *Result, short, long index.BlockList) []uint32 {
-	step := intersect.Pair(short, long, e.cfg.CPUSkipThreshold)
-	took := e.cfg.CPU.Time(step.Work)
-	res.Stats.CPUTime += took
-	res.trace(sched.CPU, sched.Ratio(min(short.Len(), long.Len()), max(short.Len(), long.Len())),
-		min(short.Len(), long.Len()), max(short.Len(), long.Len()), len(step.IDs), took)
-	return step.IDs
-}
-
-// searchCPU is the CPU-only baseline path: SvS with per-pair merge/skip
-// choice, everything decoded on the host.
-func (e *Engine) searchCPU(ordered []*index.PostingList) *Result {
-	res := &Result{}
-	if len(ordered) == 1 {
-		step := intersect.SvS([]index.BlockList{index.EFView{L: ordered[0].EF}}, e.cfg.CPUSkipThreshold)
-		took := e.cfg.CPU.Time(step.Work)
-		res.Stats.CPUTime += took
-		res.trace(sched.CPU, 1, ordered[0].N, ordered[0].N, len(step.IDs), took)
-		res.candidates = step.IDs
-		res.Stats.Candidates = len(step.IDs)
-		return res
+	if release, ok := p.cache.put(pl.Term, comp); ok {
+		return exec.DeviceList{Buf: comp, Release: release, Uploaded: true}, nil
 	}
-	cur := e.cpuPair(res, index.EFView{L: ordered[0].EF}, index.EFView{L: ordered[1].EF})
-	for _, pl := range ordered[2:] {
-		if len(cur) == 0 {
-			break
-		}
-		cur = e.cpuPair(res, index.RawView{IDs: cur}, index.EFView{L: pl.EF})
-	}
-	res.candidates = cur
-	res.Stats.Candidates = len(cur)
-	return res
-}
-
-// deviceState tracks GPU-resident data during a query.
-type deviceState struct {
-	stream   *gpu.Stream
-	bufs     []*gpu.Buffer // everything to free at query end
-	releases []func()      // cache references to drop at query end
-	last     time.Duration // last observed stream clock, for GPU time deltas
-}
-
-func (ds *deviceState) track(b *gpu.Buffer) *gpu.Buffer {
-	ds.bufs = append(ds.bufs, b)
-	return b
-}
-
-func (ds *deviceState) freeAll() {
-	for _, b := range ds.bufs {
-		b.Free()
-	}
-	ds.bufs = nil
-	for _, rel := range ds.releases {
-		rel()
-	}
-	ds.releases = nil
-}
-
-// delta returns the stream time consumed since the previous call.
-func (ds *deviceState) delta() time.Duration {
-	now := ds.stream.Elapsed()
-	d := now - ds.last
-	ds.last = now
-	return d
-}
-
-// uploadCompressed moves a posting list's compressed form onto the device,
-// consulting the resident cache first. Cached buffers stay alive across
-// queries and are not tracked for end-of-query freeing.
-func (e *Engine) uploadCompressed(ds *deviceState, pl *index.PostingList) (*gpu.Buffer, error) {
-	if e.cache != nil {
-		if buf, release, ok := e.cache.get(pl.Term); ok {
-			ds.releases = append(ds.releases, release)
-			return buf, nil // already resident: no PCIe transfer
-		}
-	}
-	comp, err := kernels.UploadEF(ds.stream, pl.EF)
-	if err != nil {
-		return nil, err
-	}
-	if e.cache != nil {
-		if release, ok := e.cache.put(pl.Term, comp); ok {
-			ds.releases = append(ds.releases, release)
-			return comp, nil
-		}
-	}
-	return ds.track(comp), nil
-}
-
-// uploadDecompressed uploads a posting list compressed and decompresses it
-// on the device with Para-EF, returning the decompressed buffer.
-func (e *Engine) uploadDecompressed(ds *deviceState, pl *index.PostingList) (*gpu.Buffer, error) {
-	comp, err := e.uploadCompressed(ds, pl)
-	if err != nil {
-		return nil, err
-	}
-	dec, _, err := kernels.ParaEFDecompress(ds.stream, comp)
-	if err != nil {
-		return nil, err
-	}
-	return ds.track(dec), nil
-}
-
-// searchGPU is Griffin-GPU standalone: every intersection on the device.
-// Per §3.1.2 it still adapts internally: MergePath below the crossover
-// ratio, parallel binary search over skip pointers above it.
-func (e *Engine) searchGPU(ordered []*index.PostingList) (*Result, error) {
-	res := &Result{}
-	ds := &deviceState{stream: e.cfg.Device.NewStream()}
-	defer ds.freeAll()
-
-	if len(ordered) == 1 {
-		dec, err := e.uploadDecompressed(ds, ordered[0])
-		if err != nil {
-			return nil, err
-		}
-		ids := ds.stream.D2H(dec, int64(ordered[0].N)*4).([]uint32)
-		took := ds.delta()
-		res.Stats.GPUTime += took
-		res.trace(sched.GPU, 1, ordered[0].N, ordered[0].N, len(ids), took)
-		res.candidates = ids
-		res.Stats.Candidates = len(ids)
-		return res, nil
-	}
-
-	// First pair.
-	a, b := ordered[0], ordered[1]
-	cur, err := e.gpuPair(res, ds, nil, a, b)
-	if err != nil {
-		return nil, err
-	}
-	// Fold in the remaining lists.
-	for _, pl := range ordered[2:] {
-		if cur.Count == 0 {
-			break
-		}
-		cur, err = e.gpuPair(res, ds, cur, nil, pl)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	ids := []uint32{}
-	if cur.Count > 0 {
-		ids = ds.stream.D2H(cur.Out, int64(cur.Count)*4).([]uint32)[:cur.Count]
-		res.Stats.GPUTime += ds.delta()
-	}
-	res.candidates = ids
-	res.Stats.Candidates = len(ids)
-	return res, nil
-}
-
-// gpuPair intersects on the device. Exactly one of (prev) or (a) is set as
-// the short operand source: prev is an earlier device-resident result; a
-// is a posting list to decompress. b is the longer posting list.
-func (e *Engine) gpuPair(res *Result, ds *deviceState, prev *kernels.IntersectResult, a, b *index.PostingList) (*kernels.IntersectResult, error) {
-	var shortBuf *gpu.Buffer
-	var shortLen int
-	if prev != nil {
-		// Trim the buffer view to the match count for downstream kernels.
-		shortBuf = prev.Out
-		shortBuf.Data = prev.Matches()
-		shortLen = prev.Count
-	} else {
-		dec, err := e.uploadDecompressed(ds, a)
-		if err != nil {
-			return nil, err
-		}
-		shortBuf = dec
-		shortLen = a.N
-	}
-
-	ratio := sched.Ratio(shortLen, b.N)
-	var out *kernels.IntersectResult
-	var err error
-	if ratio < e.cfg.GPUCrossover {
-		longDec, derr := e.uploadDecompressed(ds, b)
-		if derr != nil {
-			return nil, derr
-		}
-		out, err = kernels.IntersectMergePath(ds.stream, shortBuf, longDec)
-	} else {
-		comp, derr := kernels.UploadEF(ds.stream, b.EF)
-		if derr != nil {
-			return nil, derr
-		}
-		ds.track(comp)
-		out, err = kernels.IntersectBinarySkips(ds.stream, shortBuf, comp)
-	}
-	if err != nil {
-		return nil, err
-	}
-	ds.track(out.Out)
-	took := ds.delta()
-	res.Stats.GPUTime += took
-	res.trace(sched.GPU, ratio, shortLen, b.N, out.Count, took)
-	return out, nil
-}
-
-// searchPerQuery is the Figure 1(c) baseline: one placement decision for
-// the entire query, made from the two shortest lists' ratio exactly like
-// Griffin's first decision, but never reconsidered — if the early stages
-// fit the GPU, the late skewed intersections are stuck there too.
-func (e *Engine) searchPerQuery(ordered []*index.PostingList) (*Result, error) {
-	if len(ordered) == 1 {
-		return e.searchCPU(ordered), nil
-	}
-	policy := e.cfg.Policy.Fresh()
-	if d := policy.Decide(ordered[0].N, ordered[1].N); d.Where == sched.GPU {
-		return e.searchGPU(ordered)
-	}
-	return e.searchCPU(ordered), nil
-}
-
-// searchHybrid is Griffin: before each intersection the policy places the
-// operation; the intermediate result migrates D2H (billed at PCIe cost)
-// the first time execution moves to the CPU.
-func (e *Engine) searchHybrid(ordered []*index.PostingList) (*Result, error) {
-	res := &Result{}
-	policy := e.cfg.Policy.Fresh()
-	ds := &deviceState{stream: e.cfg.Device.NewStream()}
-	defer ds.freeAll()
-
-	if len(ordered) == 1 {
-		// Single-term query: no intersection to schedule; decode on CPU
-		// (tiny fixed work, no transfer).
-		return e.searchCPU(ordered), nil
-	}
-
-	var hostIDs []uint32                // intermediate when on host
-	var devRes *kernels.IntersectResult // intermediate when on device
-	onDevice := false
-
-	for i := 1; i < len(ordered); i++ {
-		long := ordered[i]
-		var shortLen int
-		if i == 1 {
-			shortLen = ordered[0].N
-		} else if onDevice {
-			shortLen = devRes.Count
-		} else {
-			shortLen = len(hostIDs)
-		}
-		if shortLen == 0 {
-			break
-		}
-
-		d := policy.Decide(shortLen, long.N)
-		if d.Where == sched.GPU {
-			var err error
-			if i == 1 {
-				devRes, err = e.gpuPair(res, ds, nil, ordered[0], long)
-			} else if onDevice {
-				devRes, err = e.gpuPair(res, ds, devRes, nil, long)
-			} else {
-				// Intermediate on host (can happen with non-sticky
-				// policies): upload it raw.
-				buf, herr := ds.stream.H2D(hostIDs, int64(len(hostIDs))*4)
-				if herr != nil {
-					return nil, herr
-				}
-				ds.track(buf)
-				prev := &kernels.IntersectResult{Out: buf, Count: len(hostIDs)}
-				devRes, err = e.gpuPair(res, ds, prev, nil, long)
-			}
-			if err != nil {
-				return nil, err
-			}
-			onDevice = true
-			continue
-		}
-
-		// CPU placement: migrate the intermediate off the device first.
-		if onDevice {
-			hostIDs = ds.stream.D2H(devRes.Out, int64(devRes.Count)*4).([]uint32)[:devRes.Count]
-			res.Stats.GPUTime += ds.delta()
-			res.Stats.Migrated = true
-			onDevice = false
-		}
-		var short index.BlockList
-		if i == 1 {
-			short = index.EFView{L: ordered[0].EF}
-		} else {
-			short = index.RawView{IDs: hostIDs}
-		}
-		hostIDs = e.cpuPair(res, short, index.EFView{L: long.EF})
-	}
-
-	if onDevice {
-		// Query finished on the device: bring the final result home.
-		hostIDs = []uint32{}
-		if devRes.Count > 0 {
-			hostIDs = ds.stream.D2H(devRes.Out, int64(devRes.Count)*4).([]uint32)[:devRes.Count]
-		}
-		res.Stats.GPUTime += ds.delta()
-	}
-	res.candidates = hostIDs
-	res.Stats.Candidates = len(hostIDs)
-	return res, nil
-}
-
-// rankOnCPU scores the surviving candidates with BM25 and selects the
-// top-k with the CPU partial sort (the Figure-7-justified choice).
-func (e *Engine) rankOnCPU(res *Result, lists []*index.PostingList) {
-	if len(res.candidates) == 0 {
-		res.Docs = nil
-		return
-	}
-	scored, work := e.scorer.ScoreCandidates(lists, res.candidates)
-	top, tkWork := rank.TopKCPU(scored, e.cfg.TopK)
-	work.Add(tkWork)
-	res.Stats.CPUTime += e.cfg.CPU.Time(work)
-	res.Docs = top
+	return exec.DeviceList{Buf: comp, Uploaded: true}, nil
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/workload"
+)
+
+// The golden-equivalence corpus pins the engine's observable behaviour —
+// top-k results (exact score bits), candidate counts, migration flags, and
+// the per-intersection scheduler trace — for a seeded corpus and query log
+// across all four execution modes. The goldens were generated from the
+// pre-plan-refactor engine (the four search* monoliths); the refactored
+// plan-builder/executor pipeline must reproduce them bit for bit.
+//
+// Regenerate (only when intentionally changing engine semantics) with:
+//
+//	go test ./internal/core -run TestGoldenEquivalence -update-goldens
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite the golden-equivalence corpus from the current engine")
+
+const goldenPath = "testdata/golden_equivalence.json"
+
+type goldenDoc struct {
+	DocID     uint32 `json:"doc_id"`
+	ScoreBits uint32 `json:"score_bits"`
+}
+
+type goldenOp struct {
+	Stage    string  `json:"stage"`
+	Where    string  `json:"where"`
+	Ratio    float64 `json:"ratio"`
+	ShortLen int     `json:"short_len"`
+	LongLen  int     `json:"long_len"`
+	OutLen   int     `json:"out_len"`
+	TookNS   int64   `json:"took_ns"`
+}
+
+type goldenQuery struct {
+	Terms      []string    `json:"terms"`
+	Candidates int         `json:"candidates"`
+	Migrated   bool        `json:"migrated"`
+	Docs       []goldenDoc `json:"docs"`
+	Ops        []goldenOp  `json:"ops"`
+}
+
+type goldenFile struct {
+	Modes map[string][]goldenQuery `json:"modes"`
+}
+
+func goldenModes(t testing.TB, c *workload.Corpus) map[string]*Engine {
+	t.Helper()
+	dev := gpu.New(hwmodel.DefaultGPU(), 0)
+	out := make(map[string]*Engine)
+	for _, m := range []Mode{CPUOnly, GPUOnly, Hybrid, PerQueryHybrid} {
+		cfg := Config{Mode: m}
+		if m != CPUOnly {
+			cfg.Device = dev
+		}
+		e, err := New(c.Index, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[m.String()] = e
+	}
+	return out
+}
+
+func goldenRecord(res *Result) goldenQuery {
+	g := goldenQuery{
+		Candidates: res.Stats.Candidates,
+		Migrated:   res.Stats.Migrated,
+	}
+	for _, d := range res.Docs {
+		g.Docs = append(g.Docs, goldenDoc{DocID: d.DocID, ScoreBits: math.Float32bits(d.Score)})
+	}
+	for _, op := range res.Stats.Ops {
+		g.Ops = append(g.Ops, goldenOp{
+			Stage:    op.Stage,
+			Where:    op.Where.String(),
+			Ratio:    op.Ratio,
+			ShortLen: op.ShortLen,
+			LongLen:  op.LongLen,
+			OutLen:   op.OutLen,
+			TookNS:   int64(op.Took),
+		})
+	}
+	return g
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	c := testCorpus(t)
+	queries := workload.GenerateQueryLog(c, workload.QuerySpec{
+		NumQueries: 200, PopularityAlpha: 0.7, Seed: 7,
+	})
+	engines := goldenModes(t, c)
+
+	got := goldenFile{Modes: make(map[string][]goldenQuery)}
+	for name, e := range engines {
+		rows := make([]goldenQuery, len(queries))
+		for i, q := range queries {
+			res, err := e.Search(q.Terms)
+			if err != nil {
+				t.Fatalf("%s query %d %v: %v", name, i, q.Terms, err)
+			}
+			rec := goldenRecord(res)
+			rec.Terms = q.Terms
+			rows[i] = rec
+		}
+		got.Modes[name] = rows
+	}
+
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(&got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d modes x %d queries)", goldenPath, len(got.Modes), len(queries))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update-goldens): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, wantRows := range want.Modes {
+		gotRows, ok := got.Modes[name]
+		if !ok {
+			t.Fatalf("mode %s missing from run", name)
+		}
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("%s: %d queries, golden has %d", name, len(gotRows), len(wantRows))
+		}
+		for i := range wantRows {
+			compareGolden(t, name, i, gotRows[i], wantRows[i])
+		}
+	}
+}
+
+func compareGolden(t *testing.T, mode string, qi int, got, want goldenQuery) {
+	t.Helper()
+	if got.Candidates != want.Candidates {
+		t.Errorf("%s q%d %v: candidates %d != golden %d", mode, qi, want.Terms, got.Candidates, want.Candidates)
+	}
+	if got.Migrated != want.Migrated {
+		t.Errorf("%s q%d %v: migrated %v != golden %v", mode, qi, want.Terms, got.Migrated, want.Migrated)
+	}
+	if len(got.Docs) != len(want.Docs) {
+		t.Errorf("%s q%d %v: %d docs != golden %d", mode, qi, want.Terms, len(got.Docs), len(want.Docs))
+	} else {
+		for j := range want.Docs {
+			if got.Docs[j] != want.Docs[j] {
+				t.Errorf("%s q%d %v: doc[%d] %+v != golden %+v", mode, qi, want.Terms, j, got.Docs[j], want.Docs[j])
+			}
+		}
+	}
+	if len(got.Ops) != len(want.Ops) {
+		t.Errorf("%s q%d %v: %d ops != golden %d", mode, qi, want.Terms, len(got.Ops), len(want.Ops))
+		return
+	}
+	for j := range want.Ops {
+		if got.Ops[j] != want.Ops[j] {
+			t.Errorf("%s q%d %v: op[%d]\n got    %+v\n golden %+v", mode, qi, want.Terms, j, got.Ops[j], want.Ops[j])
+		}
+	}
+}

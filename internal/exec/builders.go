@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"griffin/internal/index"
+	"griffin/internal/sched"
+)
+
+// State is the executor's runtime view handed to a Builder before each
+// plan step: how large the running intermediate currently is (the
+// shortest list's length before the first intersection) and where it
+// lives. Builders need it because SvS shrinks the intermediate as the
+// query proceeds — the exact dynamics Griffin's scheduler reacts to.
+type State struct {
+	// Len is the current intermediate result length.
+	Len int
+	// OnDevice reports whether the intermediate is device-resident.
+	OnDevice bool
+}
+
+// Builder constructs a physical plan incrementally: Next returns the
+// operators of the next pipeline step, or nil when the plan is complete.
+// A Builder instance is per-query. The four execution modes are the four
+// implementations below; a new placement strategy is a new Builder, not a
+// new executor.
+type Builder interface {
+	Next(st State) []Op
+}
+
+// NewCPUBuilder plans the CPU-only baseline (§2.2): every intersection on
+// the host with the per-pair merge-vs-skip choice, everything decoded on
+// the host.
+func NewCPUBuilder(lists []*index.PostingList) Builder {
+	return &cpuBuilder{lists: lists, i: 1}
+}
+
+type cpuBuilder struct {
+	lists []*index.PostingList
+	i     int
+	done  bool
+}
+
+func (b *cpuBuilder) Next(st State) []Op {
+	if b.done {
+		return nil
+	}
+	if len(b.lists) == 1 {
+		b.done = true
+		pl := b.lists[0]
+		return []Op{{
+			Kind: OpIntersect, Where: sched.CPU, Algo: AlgoCPUDecode,
+			Short: ListOperand(pl), Long: ListOperand(pl),
+			Trace: true, Ratio: 1, ShortLen: pl.N, LongLen: pl.N,
+		}}
+	}
+	if b.i >= len(b.lists) || (b.i > 1 && st.Len == 0) {
+		b.done = true
+		return nil
+	}
+	long := b.lists[b.i]
+	var short Operand
+	var shortLen int
+	if b.i == 1 {
+		short = ListOperand(b.lists[0])
+		shortLen = b.lists[0].N
+	} else {
+		short = Intermediate(false)
+		shortLen = st.Len
+	}
+	b.i++
+	return []Op{cpuIntersectOp(short, long, shortLen)}
+}
+
+// cpuIntersectOp emits one host intersection with its trace fields.
+func cpuIntersectOp(short Operand, long *index.PostingList, shortLen int) Op {
+	sl, ll := min(shortLen, long.N), max(shortLen, long.N)
+	return Op{
+		Kind: OpIntersect, Where: sched.CPU, Algo: AlgoCPUAdaptive,
+		Short: short, Long: ListOperand(long),
+		Trace: true, Ratio: sched.Ratio(sl, ll), ShortLen: sl, LongLen: ll,
+	}
+}
+
+// NewGPUBuilder plans Griffin-GPU standalone (§3.1): decompression and
+// every intersection on the device. Per §3.1.2 the device still adapts
+// internally: MergePath below the crossover ratio, parallel binary search
+// over skip pointers above it.
+func NewGPUBuilder(lists []*index.PostingList, crossover float64) Builder {
+	return &gpuBuilder{lists: lists, crossover: crossover, i: 1}
+}
+
+type gpuBuilder struct {
+	lists     []*index.PostingList
+	crossover float64
+	i         int
+	done      bool
+}
+
+func (b *gpuBuilder) Next(st State) []Op {
+	if b.done {
+		return nil
+	}
+	if len(b.lists) == 1 {
+		b.done = true
+		pl := b.lists[0]
+		return []Op{
+			{Kind: OpUpload, Where: sched.GPU, Arg: ListOperand(pl), Cacheable: true},
+			{Kind: OpDecompress, Where: sched.GPU, Arg: ListOperand(pl), LongLen: pl.N},
+			{Kind: OpMigrate, Where: sched.GPU, Arg: ListOperand(pl), Final: true,
+				Trace: true, Ratio: 1, ShortLen: pl.N, LongLen: pl.N},
+		}
+	}
+	if b.i < len(b.lists) && (b.i == 1 || st.Len > 0) {
+		long := b.lists[b.i]
+		var ops []Op
+		var short Operand
+		var shortLen int
+		if b.i == 1 {
+			first := b.lists[0]
+			ops = append(ops,
+				Op{Kind: OpUpload, Where: sched.GPU, Arg: ListOperand(first), Cacheable: true},
+				Op{Kind: OpDecompress, Where: sched.GPU, Arg: ListOperand(first), LongLen: first.N})
+			short = Operand{List: first, OnDevice: true}
+			shortLen = first.N
+		} else {
+			short = Intermediate(true)
+			shortLen = st.Len
+		}
+		b.i++
+		return append(ops, gpuIntersectOps(short, long, shortLen, b.crossover)...)
+	}
+	// Pipeline complete (or the intermediate emptied): drain the final
+	// result back to the host.
+	b.done = true
+	return []Op{{Kind: OpMigrate, Where: sched.GPU, Arg: Intermediate(true), Final: true, ShortLen: st.Len}}
+}
+
+// gpuIntersectOps emits one device intersection step: the long operand's
+// residency ops (decompressed for MergePath below the crossover ratio,
+// compressed-with-skip-pointers above it) followed by the kernel.
+//
+// The binary-skips upload deliberately bypasses the resident-list cache:
+// the paper's high-ratio path probes the compressed blocks in place and
+// its uploads are small relative to the short side's decompression, so
+// caching them would evict hotter merge-path lists.
+func gpuIntersectOps(short Operand, long *index.PostingList, shortLen int, crossover float64) []Op {
+	ratio := sched.Ratio(shortLen, long.N)
+	if ratio < crossover {
+		return []Op{
+			{Kind: OpUpload, Where: sched.GPU, Arg: ListOperand(long), Cacheable: true},
+			{Kind: OpDecompress, Where: sched.GPU, Arg: ListOperand(long), LongLen: long.N},
+			{Kind: OpIntersect, Where: sched.GPU, Algo: AlgoMergePath,
+				Short: short, Long: Operand{List: long, OnDevice: true},
+				Trace: true, Ratio: ratio, ShortLen: shortLen, LongLen: long.N},
+		}
+	}
+	return []Op{
+		{Kind: OpUpload, Where: sched.GPU, Arg: ListOperand(long)},
+		{Kind: OpIntersect, Where: sched.GPU, Algo: AlgoBinarySkips,
+			Short: short, Long: Operand{List: long, OnDevice: true},
+			Trace: true, Ratio: ratio, ShortLen: shortLen, LongLen: long.N},
+	}
+}
+
+// NewHybridBuilder plans Griffin proper (§3.2): before each intersection
+// the policy places the operation; the first CPU placement after device
+// execution emits a Migrate (the paper's sticky GPU-to-CPU migration,
+// billed at PCIe cost). Non-sticky policies may move back: a
+// host-resident intermediate is re-uploaded raw.
+func NewHybridBuilder(lists []*index.PostingList, policy sched.Policy, crossover float64) Builder {
+	if len(lists) == 1 {
+		// Single-term query: no intersection to schedule; decode on the
+		// host (tiny fixed work, no transfer).
+		return NewCPUBuilder(lists)
+	}
+	return &hybridBuilder{lists: lists, policy: policy.Fresh(), crossover: crossover, i: 1}
+}
+
+type hybridBuilder struct {
+	lists     []*index.PostingList
+	policy    sched.Policy
+	crossover float64
+	i         int
+	done      bool
+}
+
+func (b *hybridBuilder) Next(st State) []Op {
+	if b.done {
+		return nil
+	}
+	if b.i >= len(b.lists) || st.Len == 0 {
+		b.done = true
+		if st.OnDevice {
+			// Query finished on the device: bring the final result home.
+			return []Op{{Kind: OpMigrate, Where: sched.GPU, Arg: Intermediate(true), Final: true, ShortLen: st.Len}}
+		}
+		return nil
+	}
+	long := b.lists[b.i]
+	shortLen := st.Len
+	d := b.policy.Decide(shortLen, long.N)
+	if d.Where == sched.GPU {
+		var ops []Op
+		var short Operand
+		switch {
+		case b.i == 1:
+			first := b.lists[0]
+			ops = append(ops,
+				Op{Kind: OpUpload, Where: sched.GPU, Arg: ListOperand(first), Cacheable: true},
+				Op{Kind: OpDecompress, Where: sched.GPU, Arg: ListOperand(first), LongLen: first.N})
+			short = Operand{List: first, OnDevice: true}
+		case st.OnDevice:
+			short = Intermediate(true)
+		default:
+			// Intermediate on host (non-sticky policies): upload it raw.
+			ops = append(ops, Op{Kind: OpUpload, Where: sched.GPU, Arg: Intermediate(false), ShortLen: shortLen})
+			short = Intermediate(true)
+		}
+		b.i++
+		return append(ops, gpuIntersectOps(short, long, shortLen, b.crossover)...)
+	}
+	// CPU placement: migrate the intermediate off the device first.
+	var ops []Op
+	if st.OnDevice {
+		ops = append(ops, Op{Kind: OpMigrate, Where: sched.GPU, Arg: Intermediate(true), ShortLen: shortLen})
+	}
+	var short Operand
+	if b.i == 1 {
+		short = ListOperand(b.lists[0])
+	} else {
+		short = Intermediate(false)
+	}
+	b.i++
+	return append(ops, cpuIntersectOp(short, long, shortLen))
+}
+
+// NewPerQueryBuilder plans the Figure 1(c) static baseline (Ding et al.,
+// WWW'09): one placement decision for the entire query, made from the two
+// shortest lists' ratio exactly like Griffin's first decision, but never
+// reconsidered — the whole pipeline then runs as the CPU-only or GPU-only
+// plan.
+func NewPerQueryBuilder(lists []*index.PostingList, policy sched.Policy, crossover float64) Builder {
+	if len(lists) >= 2 {
+		if d := policy.Fresh().Decide(lists[0].N, lists[1].N); d.Where == sched.GPU {
+			return NewGPUBuilder(lists, crossover)
+		}
+	}
+	return NewCPUBuilder(lists)
+}

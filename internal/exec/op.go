@@ -1,0 +1,227 @@
+// Package exec is Griffin's physical query-plan layer: a query executes
+// as a pipeline of typed operators — Fetch, Upload, Decompress,
+// Intersect, Migrate, Score, TopK — each declaring its placement (CPU or
+// GPU), its operand provenance (a posting list from the index vs the
+// running intermediate result, host slice vs device buffer), and a
+// closed-form cost hook into the hwmodel calibrations.
+//
+// The four execution modes of the paper (§4.4's CPU-only, Griffin-GPU,
+// Griffin, and the Figure 1(c) per-query static hybrid) are *plan
+// builders* (builders.go): they differ only in which operators they emit
+// and where they place them. A single executor (run.go) walks whatever
+// the builder produces with one shared execution context — device-buffer
+// lifetime tracking, the sequential simulated timeline, and per-operator
+// trace emission — so a new placement strategy is a new builder, not a
+// new copy of the pipeline. Griffin's §3.2 scheduler lives exactly where
+// the paper puts it conceptually: sched.Policy is a callback the Hybrid
+// builder consults before each intersection, including the sticky
+// GPU-to-CPU Migrate decision.
+package exec
+
+import (
+	"time"
+
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/sched"
+)
+
+// OpKind identifies an operator type.
+type OpKind int
+
+const (
+	// OpFetch binds a term's posting list from the index (host).
+	OpFetch OpKind = iota
+	// OpUpload moves data into device memory over PCIe: a posting list's
+	// compressed form, or the raw intermediate result.
+	OpUpload
+	// OpDecompress expands a device-resident compressed list with the
+	// Para-EF kernel (§3.1.1).
+	OpDecompress
+	// OpIntersect intersects the running intermediate (or the first list)
+	// with the next posting list, on either processor (§2.1.2, §3.1.2).
+	OpIntersect
+	// OpMigrate moves the intermediate result device-to-host (§3.2's
+	// mid-query migration, or the end-of-plan drain).
+	OpMigrate
+	// OpScore evaluates BM25 over the surviving candidates (host, §2.1.3).
+	OpScore
+	// OpTopK selects the k best candidates (host partial sort, Figure 7).
+	OpTopK
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpFetch:
+		return "fetch"
+	case OpUpload:
+		return "upload"
+	case OpDecompress:
+		return "decompress"
+	case OpIntersect:
+		return "intersect"
+	case OpMigrate:
+		return "migrate"
+	case OpScore:
+		return "score"
+	case OpTopK:
+		return "topk"
+	default:
+		return "unknown"
+	}
+}
+
+// Algo selects the concrete intersection algorithm of an OpIntersect.
+type Algo int
+
+const (
+	// AlgoNone marks non-intersect operators.
+	AlgoNone Algo = iota
+	// AlgoCPUAdaptive is the host's merge-vs-skip-search choice (§2.2).
+	AlgoCPUAdaptive
+	// AlgoCPUDecode is the degenerate single-list "intersection": decode
+	// the list on the host.
+	AlgoCPUDecode
+	// AlgoMergePath is the device MergePath kernel (comparable lengths).
+	AlgoMergePath
+	// AlgoBinarySkips is the device parallel binary search over skip
+	// pointers (high length ratios, §3.1.2).
+	AlgoBinarySkips
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoCPUAdaptive:
+		return "cpu-adaptive"
+	case AlgoCPUDecode:
+		return "cpu-decode"
+	case AlgoMergePath:
+		return "merge-path"
+	case AlgoBinarySkips:
+		return "binary-skips"
+	default:
+		return ""
+	}
+}
+
+// Operand declares where an operator's input comes from: a posting list
+// of the index, or (List == nil) the running intermediate result. OnDevice
+// records the declared residence at the time the plan step is built; the
+// executor's state must agree when the operator runs.
+type Operand struct {
+	List     *index.PostingList
+	OnDevice bool
+}
+
+// ListOperand is a host-resident posting-list operand.
+func ListOperand(pl *index.PostingList) Operand { return Operand{List: pl} }
+
+// Intermediate is the running-intermediate operand.
+func Intermediate(onDevice bool) Operand { return Operand{OnDevice: onDevice} }
+
+// Op is one operator of a physical query plan.
+type Op struct {
+	// Kind and Where identify the operator and its placement.
+	Kind  OpKind
+	Where sched.Processor
+	// Arg is the operand of the unary operators (Upload, Decompress). An
+	// Upload with Arg.List == nil uploads the raw intermediate result.
+	Arg Operand
+	// Short and Long are the Intersect operands (SvS probes the shorter
+	// side into the longer).
+	Short, Long Operand
+	// Algo is the intersection algorithm (OpIntersect only).
+	Algo Algo
+	// Cacheable lets Upload consult the engine's resident-list cache.
+	Cacheable bool
+	// Final marks the end-of-plan drain Migrate: it does not set the
+	// Migrated flag and skips the transfer when the intermediate is empty.
+	Final bool
+	// Trace emits a legacy intersection trace entry (QueryStats.Ops) when
+	// the operator completes, with the fields below. On the GPU the entry's
+	// Took spans everything since the previous trace boundary — upload,
+	// decompression, and kernels of the whole step — matching how the
+	// paper's prototype accounts a scheduled operation.
+	Trace             bool
+	Ratio             float64
+	ShortLen, LongLen int
+}
+
+// Estimate is the operator's cost hook: a closed-form prediction of its
+// simulated duration under the calibrated hardware models, computed from
+// the declared operand sizes alone (no execution). Plan-level estimation
+// (sched.QueryEstimator, loadsim re-planning) sums these across a
+// candidate plan.
+func (op *Op) Estimate(cpuM *hwmodel.CPUModel, gpuM *hwmodel.GPUModel) time.Duration {
+	switch op.Kind {
+	case OpFetch:
+		return cpuM.Time(hwmodel.CPUWork{CachedProbes: 1})
+	case OpUpload:
+		var bytes int64
+		if op.Arg.List != nil {
+			bytes = compressedBytes(op.Arg.List.N)
+		} else {
+			bytes = int64(op.ShortLen) * 4
+		}
+		return gpuM.TransferTime(bytes)
+	case OpDecompress:
+		n := op.LongLen
+		st := hwmodel.LaunchStats{
+			Blocks:           (n + 127) / 128,
+			ThreadsPerBlock:  128,
+			Ops:              int64(6 * n),
+			GlobalReadBytes:  compressedBytes(n),
+			GlobalWriteBytes: int64(4 * n),
+		}
+		return gpuM.AllocTime(int64(n)*4) + gpuM.KernelTime(&st)
+	case OpIntersect:
+		return estimateIntersect(op, cpuM, gpuM)
+	case OpMigrate:
+		return gpuM.TransferTime(int64(op.ShortLen) * 4)
+	case OpScore:
+		return cpuM.Time(hwmodel.CPUWork{ScoredDocs: int64(op.ShortLen * op.LongLen)})
+	case OpTopK:
+		return cpuM.Time(hwmodel.CPUWork{HeapCandidates: int64(op.ShortLen)})
+	}
+	return 0
+}
+
+// compressedBytes approximates an Elias-Fano list's PCIe payload
+// (~7 bits/doc on the paper's collections).
+func compressedBytes(n int) int64 { return int64(n) * 7 / 8 }
+
+// estimateIntersect prices one intersection under either placement.
+func estimateIntersect(op *Op, cpuM *hwmodel.CPUModel, gpuM *hwmodel.GPUModel) time.Duration {
+	short, long := op.ShortLen, op.LongLen
+	switch op.Algo {
+	case AlgoCPUDecode:
+		return cpuM.Time(hwmodel.CPUWork{EFDecodedElems: int64(long)})
+	case AlgoCPUAdaptive:
+		if long < intersectSkipRatio*short {
+			return cpuM.Time(hwmodel.CPUWork{
+				EFDecodedElems: int64(short + long),
+				MergedElements: int64(short + long),
+			})
+		}
+		return cpuM.Time(hwmodel.CPUWork{
+			CachedProbes: int64(4 * short),
+			SelectProbes: int64(7 * short),
+		})
+	case AlgoMergePath, AlgoBinarySkips:
+		st := hwmodel.LaunchStats{
+			Blocks:           (long + 127) / 128,
+			ThreadsPerBlock:  128,
+			Ops:              int64(8 * (short + long)),
+			GlobalReadBytes:  int64(5 * (short + long)),
+			GlobalWriteBytes: int64(4 * (short + long)),
+		}
+		return gpuM.KernelTime(&st) + 4*gpuM.LaunchOverhead
+	}
+	return 0
+}
+
+// intersectSkipRatio mirrors the CPU merge-vs-skip estimator switch used
+// by sched.CostPolicy (the host's own adaptive threshold neighbourhood).
+const intersectSkipRatio = 16

@@ -1,0 +1,468 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/intersect"
+	"griffin/internal/kernels"
+	"griffin/internal/rank"
+	"griffin/internal/sched"
+)
+
+// Fetch is one term lookup feeding a query plan. List is nil when the
+// term is absent from the index (the conjunction is then empty).
+type Fetch struct {
+	Term string
+	List *index.PostingList
+}
+
+// DeviceList is a ListProvider's answer: a device buffer holding a
+// posting list's compressed form.
+type DeviceList struct {
+	Buf *gpu.Buffer
+	// Release drops the provider's reference at query end. When nil the
+	// executor owns the buffer and frees it itself.
+	Release func()
+	// Uploaded reports whether the call paid a PCIe transfer (false on a
+	// cache hit).
+	Uploaded bool
+}
+
+// ListProvider supplies device-resident compressed posting lists to
+// cacheable Upload operators, letting the engine interpose its bounded
+// resident-list cache without the executor knowing about eviction.
+type ListProvider interface {
+	DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (DeviceList, error)
+}
+
+// directUpload is the cache-less provider: every upload pays PCIe.
+type directUpload struct{}
+
+func (directUpload) DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (DeviceList, error) {
+	comp, err := kernels.UploadEF(s, pl.EF)
+	if err != nil {
+		return DeviceList{}, err
+	}
+	return DeviceList{Buf: comp, Uploaded: true}, nil
+}
+
+// Context is the shared execution context one executor run needs: the
+// hardware models pricing the simulated timeline, the device (nil for
+// pure-CPU plans), the list provider, and the ranking configuration.
+type Context struct {
+	// CPU prices host work.
+	CPU hwmodel.CPUModel
+	// Device is the simulated GPU; may be nil when no builder emits
+	// device operators.
+	Device *gpu.Device
+	// Lists provides device-resident compressed lists to cacheable
+	// uploads; nil means upload directly (no cache).
+	Lists ListProvider
+	// Scorer ranks the surviving candidates (BM25).
+	Scorer *rank.Scorer
+	// SkipThreshold is the CPU merge-vs-skip ratio switch.
+	SkipThreshold int
+	// TopK is the result count.
+	TopK int
+}
+
+// Outcome is a completed plan execution.
+type Outcome struct {
+	// Docs are the top-k results, descending by score (non-nil).
+	Docs []kernels.ScoredDoc
+	// Candidates is the final intersection (host-resident).
+	Candidates []uint32
+	// Stats is the simulated execution record.
+	Stats QueryStats
+}
+
+// Run executes one query: it prices the term fetches, SvS-orders the
+// lists, then walks the plan the builder produces step by step with one
+// shared execution context — device-buffer lifetime tracking, the
+// sequential simulated timeline, per-operator trace emission — and
+// finishes with host-side BM25 scoring and top-k selection. mkBuilder
+// receives the SvS-ordered lists and returns the mode's plan builder.
+//
+// Device buffers allocated during the run (and cache references taken by
+// uploads) are released when Run returns, success or error.
+func Run(ctx *Context, fetches []Fetch, mkBuilder func(ordered []*index.PostingList) Builder) (*Outcome, error) {
+	r := &runner{ctx: ctx, env: make(map[*index.PostingList]*devEntry)}
+	defer r.cleanup()
+
+	// Fetch: bind each term's posting list, priced as one dictionary probe.
+	lists := make([]*index.PostingList, 0, len(fetches))
+	missing := false
+	for _, f := range fetches {
+		took := ctx.CPU.Time(hwmodel.CPUWork{CachedProbes: 1})
+		r.stats.CPUTime += took
+		n := 0
+		if f.List != nil {
+			n = f.List.N
+			lists = append(lists, f.List)
+		} else {
+			missing = true
+		}
+		r.record(OpRecord{Kind: OpFetch, Where: sched.CPU, Term: f.Term, NOut: n, Took: took, Est: took})
+	}
+
+	if !missing && len(lists) > 0 {
+		// SvS ordering: ascending by length (§2.1.2).
+		views := make([]index.BlockList, len(lists))
+		for i, pl := range lists {
+			views[i] = index.EFView{L: pl.EF}
+		}
+		order := intersect.OrderByLength(views)
+		ordered := make([]*index.PostingList, len(order))
+		for i, oi := range order {
+			ordered[i] = lists[oi]
+		}
+		r.lists = ordered
+
+		b := mkBuilder(ordered)
+		for {
+			ops := b.Next(State{Len: r.stateLen(), OnDevice: r.onDevice})
+			if ops == nil {
+				break
+			}
+			for i := range ops {
+				if err := r.exec(&ops[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Rank: BM25 over the candidates, then the CPU partial sort (the
+	// Figure-7-justified choice). Scoring iterates the lists in lookup
+	// order so float accumulation is bit-stable across modes.
+	docs := []kernels.ScoredDoc{}
+	if len(r.hostIDs) > 0 {
+		est := (&Op{Kind: OpScore, ShortLen: len(r.hostIDs), LongLen: len(lists)}).Estimate(&ctx.CPU, r.gpuModel())
+		scored, work := ctx.Scorer.ScoreCandidates(lists, r.hostIDs)
+		took := ctx.CPU.Time(work)
+		r.stats.CPUTime += took
+		r.record(OpRecord{Kind: OpScore, Where: sched.CPU, NIn: len(r.hostIDs), NOut: len(scored), Took: took, Est: est})
+
+		est = (&Op{Kind: OpTopK, ShortLen: len(scored)}).Estimate(&ctx.CPU, r.gpuModel())
+		top, tkWork := rank.TopKCPU(scored, ctx.TopK)
+		took = ctx.CPU.Time(tkWork)
+		r.stats.CPUTime += took
+		r.record(OpRecord{Kind: OpTopK, Where: sched.CPU, NIn: len(scored), NOut: len(top), Took: took, Est: est})
+		docs = append(docs, top...)
+	}
+
+	r.stats.Candidates = len(r.hostIDs)
+	r.stats.Latency = r.stats.CPUTime + r.stats.GPUTime
+	return &Outcome{Docs: docs, Candidates: r.hostIDs, Stats: r.stats}, nil
+}
+
+// devEntry tracks one posting list's device-resident forms.
+type devEntry struct {
+	comp *gpu.Buffer
+	dec  *gpu.Buffer
+}
+
+// runner is the executor's per-query state: the running intermediate
+// (host slice or device IntersectResult), device-buffer ownership, and
+// the stream-clock watermark that splits GPU time between trace entries.
+type runner struct {
+	ctx    *Context
+	stream *gpu.Stream
+	lists  []*index.PostingList
+	stats  QueryStats
+
+	hostIDs  []uint32                 // intermediate when on host
+	devRes   *kernels.IntersectResult // intermediate when on device
+	onDevice bool
+	started  bool // true once the first intersection produced an intermediate
+
+	env      map[*index.PostingList]*devEntry
+	owned    []*gpu.Buffer // buffers to free at query end
+	releases []func()      // cache references to drop at query end
+	last     time.Duration // last settled stream clock
+}
+
+func (r *runner) cleanup() {
+	for _, b := range r.owned {
+		b.Free()
+	}
+	r.owned = nil
+	for _, rel := range r.releases {
+		rel()
+	}
+	r.releases = nil
+}
+
+func (r *runner) track(b *gpu.Buffer) *gpu.Buffer {
+	r.owned = append(r.owned, b)
+	return b
+}
+
+func (r *runner) record(rec OpRecord) {
+	r.stats.Plan = append(r.stats.Plan, rec)
+}
+
+// stateLen is the Builder-visible intermediate length: the shortest
+// list's length before the first intersection, the running result after.
+func (r *runner) stateLen() int {
+	switch {
+	case !r.started:
+		if len(r.lists) > 0 {
+			return r.lists[0].N
+		}
+		return 0
+	case r.onDevice:
+		return r.devRes.Count
+	default:
+		return len(r.hostIDs)
+	}
+}
+
+func (r *runner) ensureStream() error {
+	if r.stream != nil {
+		return nil
+	}
+	if r.ctx.Device == nil {
+		return fmt.Errorf("exec: plan places work on the GPU but the context has no device")
+	}
+	r.stream = r.ctx.Device.NewStream()
+	return nil
+}
+
+func (r *runner) elapsed() time.Duration {
+	if r.stream == nil {
+		return 0
+	}
+	return r.stream.Elapsed()
+}
+
+// settle returns the stream time consumed since the previous settle
+// point — the legacy accounting where one traced GPU intersection spans
+// the uploads, decompressions, and kernels of its whole step.
+func (r *runner) settle() time.Duration {
+	now := r.elapsed()
+	d := now - r.last
+	r.last = now
+	return d
+}
+
+func (r *runner) gpuModel() *hwmodel.GPUModel {
+	if r.ctx.Device != nil {
+		return r.ctx.Device.Model()
+	}
+	return &fallbackGPU
+}
+
+var fallbackGPU = hwmodel.DefaultGPU()
+
+// traceOp appends a legacy intersection trace entry (QueryStats.Ops).
+func (r *runner) traceOp(op *Op, outLen int, took time.Duration) {
+	r.stats.Ops = append(r.stats.Ops, OpTrace{
+		Stage:    fmt.Sprintf("intersect#%d", len(r.stats.Ops)),
+		Where:    op.Where,
+		Ratio:    op.Ratio,
+		ShortLen: op.ShortLen,
+		LongLen:  op.LongLen,
+		OutLen:   outLen,
+		Took:     took,
+	})
+}
+
+// exec runs one operator, advancing the shared timeline and emitting its
+// plan record (and, for Trace-flagged ops, the legacy trace entry).
+func (r *runner) exec(op *Op) error {
+	est := op.Estimate(&r.ctx.CPU, r.gpuModel())
+	rec := OpRecord{Kind: op.Kind, Algo: op.Algo, Where: op.Where, Est: est}
+
+	switch op.Kind {
+	case OpUpload:
+		if err := r.ensureStream(); err != nil {
+			return err
+		}
+		start := r.elapsed()
+		if op.Arg.List == nil {
+			// Raw intermediate upload (host -> device).
+			buf, err := r.stream.H2D(r.hostIDs, int64(len(r.hostIDs))*4)
+			if err != nil {
+				return err
+			}
+			r.track(buf)
+			r.devRes = &kernels.IntersectResult{Out: buf, Count: len(r.hostIDs)}
+			r.onDevice = true
+			rec.NIn, rec.NOut = len(r.hostIDs), len(r.hostIDs)
+			rec.Bytes = int64(len(r.hostIDs)) * 4
+		} else {
+			pl := op.Arg.List
+			provider := r.ctx.Lists
+			if provider == nil || !op.Cacheable {
+				provider = directUpload{}
+			}
+			dl, err := provider.DeviceCompressed(r.stream, pl)
+			if err != nil {
+				return err
+			}
+			if dl.Release != nil {
+				r.releases = append(r.releases, dl.Release)
+			} else {
+				r.track(dl.Buf)
+			}
+			r.entry(pl).comp = dl.Buf
+			rec.Term = pl.Term
+			rec.NIn, rec.NOut = pl.N, pl.N
+			if dl.Uploaded {
+				rec.Bytes = pl.EF.CompressedBytes()
+			}
+		}
+		rec.Took = r.elapsed() - start
+
+	case OpDecompress:
+		start := r.elapsed()
+		pl := op.Arg.List
+		dec, _, err := kernels.ParaEFDecompress(r.stream, r.entry(pl).comp)
+		if err != nil {
+			return err
+		}
+		r.track(dec)
+		r.entry(pl).dec = dec
+		rec.Term = pl.Term
+		rec.NIn, rec.NOut = pl.N, pl.N
+		rec.Took = r.elapsed() - start
+
+	case OpIntersect:
+		if op.Where == sched.CPU {
+			return r.intersectCPU(op, &rec)
+		}
+		return r.intersectGPU(op, &rec)
+
+	case OpMigrate:
+		return r.migrate(op, &rec)
+
+	default:
+		return fmt.Errorf("exec: operator %v cannot appear mid-plan", op.Kind)
+	}
+
+	r.record(rec)
+	return nil
+}
+
+// entry returns (creating if needed) the device residency entry for pl.
+func (r *runner) entry(pl *index.PostingList) *devEntry {
+	e := r.env[pl]
+	if e == nil {
+		e = &devEntry{}
+		r.env[pl] = e
+	}
+	return e
+}
+
+// intersectCPU runs one host intersection: the short side is either a
+// posting list (EF view) or the host-resident intermediate (raw view).
+func (r *runner) intersectCPU(op *Op, rec *OpRecord) error {
+	var short index.BlockList
+	if op.Short.List != nil {
+		short = index.EFView{L: op.Short.List.EF}
+	} else {
+		short = index.RawView{IDs: r.hostIDs}
+	}
+	var step intersect.Result
+	if op.Algo == AlgoCPUDecode {
+		// Degenerate single-list query: decode the list on the host.
+		step = intersect.SvS([]index.BlockList{short}, r.ctx.SkipThreshold)
+	} else {
+		step = intersect.Pair(short, index.EFView{L: op.Long.List.EF}, r.ctx.SkipThreshold)
+	}
+	took := r.ctx.CPU.Time(step.Work)
+	r.stats.CPUTime += took
+	r.hostIDs = step.IDs
+	r.onDevice = false
+	r.started = true
+	rec.NIn, rec.NOut = op.ShortLen, len(step.IDs)
+	rec.Took = took
+	r.record(*rec)
+	if op.Trace {
+		r.traceOp(op, len(step.IDs), took)
+	}
+	return nil
+}
+
+// intersectGPU runs one device intersection kernel over the declared
+// operands' resident buffers.
+func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
+	start := r.elapsed()
+	var shortBuf *gpu.Buffer
+	if op.Short.List != nil {
+		shortBuf = r.entry(op.Short.List).dec
+	} else {
+		// Trim the buffer view to the match count for downstream kernels.
+		shortBuf = r.devRes.Out
+		shortBuf.Data = r.devRes.Matches()
+	}
+	var out *kernels.IntersectResult
+	var err error
+	if op.Algo == AlgoBinarySkips {
+		out, err = kernels.IntersectBinarySkips(r.stream, shortBuf, r.entry(op.Long.List).comp)
+	} else {
+		out, err = kernels.IntersectMergePath(r.stream, shortBuf, r.entry(op.Long.List).dec)
+	}
+	if err != nil {
+		return err
+	}
+	r.track(out.Out)
+	r.devRes = out
+	r.onDevice = true
+	r.started = true
+	rec.NIn, rec.NOut = op.ShortLen, out.Count
+	rec.Took = r.elapsed() - start
+	r.record(*rec)
+	if op.Trace {
+		d := r.settle()
+		r.stats.GPUTime += d
+		r.traceOp(op, out.Count, d)
+	}
+	return nil
+}
+
+// migrate moves the intermediate device-to-host: the §3.2 mid-query
+// migration (sets Migrated), the end-of-plan drain (Final), or the
+// single-list decompressed-list drain (Arg.List set).
+func (r *runner) migrate(op *Op, rec *OpRecord) error {
+	start := r.elapsed()
+	switch {
+	case op.Arg.List != nil:
+		// Drain a decompressed posting list (single-term device plan).
+		pl := op.Arg.List
+		ids := r.stream.D2H(r.entry(pl).dec, int64(pl.N)*4).([]uint32)
+		r.hostIDs = ids
+		rec.NIn, rec.NOut = pl.N, len(ids)
+		rec.Bytes = int64(pl.N) * 4
+	case op.Final:
+		r.hostIDs = []uint32{}
+		if r.devRes.Count > 0 {
+			r.hostIDs = r.stream.D2H(r.devRes.Out, int64(r.devRes.Count)*4).([]uint32)[:r.devRes.Count]
+			rec.Bytes = int64(r.devRes.Count) * 4
+		}
+		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
+	default:
+		// Mid-query migration: execution moves to the CPU (§3.2).
+		r.hostIDs = r.stream.D2H(r.devRes.Out, int64(r.devRes.Count)*4).([]uint32)[:r.devRes.Count]
+		r.stats.Migrated = true
+		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
+		rec.Bytes = int64(r.devRes.Count) * 4
+	}
+	r.onDevice = false
+	r.started = true
+	d := r.settle()
+	r.stats.GPUTime += d
+	rec.Took = r.elapsed() - start
+	r.record(*rec)
+	if op.Trace {
+		// Single-term device plans trace the drain as their one operation,
+		// spanning the whole upload+decompress+transfer step.
+		r.traceOp(op, len(r.hostIDs), d)
+	}
+	return nil
+}

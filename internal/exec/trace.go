@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"time"
+
+	"griffin/internal/sched"
+)
+
+// OpTrace records one intersection's placement and outcome — the
+// scheduler-visibility record the examples and experiments inspect
+// (one entry per scheduled intersection, as in the paper's prototype).
+type OpTrace struct {
+	Stage    string
+	Where    sched.Processor
+	Ratio    float64
+	ShortLen int
+	LongLen  int
+	OutLen   int
+	Took     time.Duration
+}
+
+// OpRecord is one executed operator of a physical plan — the
+// finer-grained trace beneath OpTrace. Every operator the executor runs
+// (including uploads, decompressions, migrations, scoring, and top-k)
+// produces one record, so the records replay the query's full resource
+// timeline: summing Took over records on each processor reproduces
+// CPUTime and GPUTime exactly.
+type OpRecord struct {
+	// Kind and Algo identify the operator.
+	Kind OpKind
+	Algo Algo
+	// Where the operator ran.
+	Where sched.Processor
+	// Term is the fetched term (OpFetch only).
+	Term string
+	// NIn and NOut are the element counts entering and leaving the
+	// operator (for Intersect, NIn is the short side).
+	NIn, NOut int
+	// Bytes is the PCIe payload of transfers (Upload, Migrate).
+	Bytes int64
+	// Took is the operator's simulated duration.
+	Took time.Duration
+	// Est is the operator's closed-form cost-hook prediction (Op.Estimate),
+	// recorded alongside the measured time so re-planners can judge the
+	// estimator's fidelity.
+	Est time.Duration
+}
+
+// QueryStats aggregates one query's simulated execution.
+type QueryStats struct {
+	// Latency is the end-to-end simulated response time.
+	Latency time.Duration
+	// CPUTime and GPUTime split the latency by processor.
+	CPUTime time.Duration
+	GPUTime time.Duration
+	// Migrated reports whether a Hybrid query moved from GPU to CPU.
+	Migrated bool
+	// Candidates is the final intersection size entering ranking.
+	Candidates int
+	// Ops traces each intersection.
+	Ops []OpTrace
+	// Plan traces every executed operator of the physical plan.
+	Plan []OpRecord
+}

@@ -136,6 +136,21 @@ func (t *Table) CSV() string {
 	return sb.String()
 }
 
+// TableJSON is the machine-readable form of a Table, emitted by
+// griffin-bench -json so CI can record the perf trajectory.
+type TableJSON struct {
+	Slug   string     `json:"slug"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON returns the table's machine-readable form.
+func (t *Table) JSON() TableJSON {
+	return TableJSON{Slug: t.Slug(), Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+}
+
 // Slug returns a filesystem-friendly name derived from the title.
 func (t *Table) Slug() string {
 	s := strings.ToLower(t.Title)

@@ -40,10 +40,15 @@ type Segment struct {
 }
 
 // SegmentsFromStats converts an engine query trace into the segment
-// sequence the simulator replays: each intersection becomes a segment on
-// the processor the scheduler chose (adjacent same-resource operations
-// merge), and the residual CPU time (decompression bookkeeping, scoring,
-// top-k) forms a final CPU segment.
+// sequence the simulator replays.
+//
+// Engine traces carry the full physical-plan record (QueryStats.Plan):
+// every executed operator — fetch, upload, decompress, intersect,
+// migrate, score, top-k — becomes a segment on the processor it ran on
+// (adjacent same-resource operators merge), so the replayed timeline is
+// exactly the executor's, operator by operator. For hand-built stats
+// without a plan, the legacy conversion applies: each traced intersection
+// is a segment, and the residual CPU/GPU time forms trailing segments.
 func SegmentsFromStats(qs core.QueryStats) []Segment {
 	var segs []Segment
 	var opCPU time.Duration
@@ -56,6 +61,18 @@ func SegmentsFromStats(qs core.QueryStats) []Segment {
 			return
 		}
 		segs = append(segs, Segment{Res: r, D: d})
+	}
+	if len(qs.Plan) > 0 {
+		// Operator-trace replay: the plan records partition the query's
+		// entire CPU and GPU time, so no residual pushes are needed.
+		for _, op := range qs.Plan {
+			if op.Where == sched.GPU {
+				push(ResGPU, op.Took)
+			} else {
+				push(ResCPU, op.Took)
+			}
+		}
+		return segs
 	}
 	for _, op := range qs.Ops {
 		if op.Where == sched.GPU {

@@ -139,3 +139,39 @@ func TestFCFSOrderPreserved(t *testing.T) {
 		t.Fatalf("max latency %v: queueing not applied", res.Latencies.Max())
 	}
 }
+
+func TestSegmentsFromPlanTrace(t *testing.T) {
+	// Stats carrying a physical-plan trace replay operator by operator:
+	// adjacent same-processor operators merge and nothing is residual.
+	qs := core.QueryStats{
+		CPUTime: ms(6),
+		GPUTime: ms(9),
+		Plan: []core.PlanRecord{
+			{Where: sched.CPU, Took: ms(1)}, // fetch
+			{Where: sched.GPU, Took: ms(4)}, // upload + decompress
+			{Where: sched.GPU, Took: ms(5)}, // intersect
+			{Where: sched.CPU, Took: ms(2)}, // migrated intersect
+			{Where: sched.CPU, Took: ms(3)}, // score + topk
+		},
+	}
+	segs := SegmentsFromStats(qs)
+	want := []Segment{{ResCPU, ms(1)}, {ResGPU, ms(9)}, {ResCPU, ms(5)}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v, want %v", segs, want)
+	}
+	var cpu, gpu time.Duration
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v, want %v", i, segs[i], want[i])
+		}
+		if segs[i].Res == ResGPU {
+			gpu += segs[i].D
+		} else {
+			cpu += segs[i].D
+		}
+	}
+	// Plan replay conserves the stats' per-processor totals exactly.
+	if cpu != qs.CPUTime || gpu != qs.GPUTime {
+		t.Fatalf("replayed cpu=%v gpu=%v, stats cpu=%v gpu=%v", cpu, gpu, qs.CPUTime, qs.GPUTime)
+	}
+}

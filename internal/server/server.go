@@ -49,6 +49,22 @@ type SearchResponse struct {
 	LatencyMS  float64   `json:"simulated_latency_ms"`
 	Migrated   bool      `json:"migrated"`
 	Results    []HitJSON `json:"results"`
+	// Plan is the executed physical query plan, present when the request
+	// set trace=1.
+	Plan []PlanOpJSON `json:"plan,omitempty"`
+}
+
+// PlanOpJSON is one executed plan operator of a traced request.
+type PlanOpJSON struct {
+	Op        string  `json:"op"`
+	Algo      string  `json:"algo,omitempty"`
+	Where     string  `json:"where"`
+	Term      string  `json:"term,omitempty"`
+	NIn       int     `json:"n_in"`
+	NOut      int     `json:"n_out"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	TookUS    float64 `json:"took_us"`
+	EstTookUS float64 `json:"est_took_us"`
 }
 
 // HitJSON is one ranked result.
@@ -57,7 +73,9 @@ type HitJSON struct {
 	Score float32 `json:"score"`
 }
 
-// handleSearch serves GET /search?q=terms+separated+by+spaces[&k=10].
+// handleSearch serves GET /search?q=terms+separated+by+spaces[&k=10][&trace=1].
+// With trace=1 the response includes the executed physical query plan,
+// one record per operator.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
@@ -101,6 +119,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, h := range hits {
 		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Plan = make([]PlanOpJSON, len(res.Stats.Plan))
+		for i, op := range res.Stats.Plan {
+			resp.Plan[i] = PlanOpJSON{
+				Op:        op.Kind.String(),
+				Algo:      op.Algo.String(),
+				Where:     op.Where.String(),
+				Term:      op.Term,
+				NIn:       op.NIn,
+				NOut:      op.NOut,
+				Bytes:     op.Bytes,
+				TookUS:    float64(op.Took) / float64(time.Microsecond),
+				EstTookUS: float64(op.Est) / float64(time.Microsecond),
+			}
+		}
 	}
 	writeJSON(w, resp)
 }

@@ -164,3 +164,44 @@ func TestConcurrentRequests(t *testing.T) {
 		}
 	}
 }
+
+func TestSearchTraceParameter(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Without trace=1 the plan is omitted.
+	rec, body := get(t, srv, "/search?q=quick+fox")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Plan) != 0 {
+		t.Fatalf("untraced response carries a plan: %+v", resp.Plan)
+	}
+
+	rec, body = get(t, srv, "/search?q=quick+fox&trace=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	resp = SearchResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Plan) == 0 {
+		t.Fatal("trace=1 response has no plan")
+	}
+	kinds := map[string]bool{}
+	for _, op := range resp.Plan {
+		kinds[op.Op] = true
+		if op.Where == "" {
+			t.Errorf("plan op %q missing placement", op.Op)
+		}
+	}
+	for _, want := range []string{"fetch", "intersect", "score", "topk"} {
+		if !kinds[want] {
+			t.Errorf("plan missing %q operator (got %v)", want, kinds)
+		}
+	}
+}
