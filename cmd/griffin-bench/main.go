@@ -106,7 +106,11 @@ func main() {
 			exitOn(err)
 			emit(t)
 		}
-		if run("fig11") || run("fig14") || run("fig15") || run("ablation") {
+		// Every query-driven experiment shares fig11's synthesized log —
+		// including the load and cache studies, which previously received a
+		// nil log (and crashed) when selected without fig11 via -only.
+		if run("fig11") || run("fig14") || run("fig15") || run("ablation") ||
+			run("load") || run("cache") {
 			_, t, qs, err := experiments.RunFig11(cfg, corpus)
 			exitOn(err)
 			queries = qs
@@ -141,6 +145,13 @@ func main() {
 			_, tl, err := experiments.RunLoadStudy(cfg, corpus, queries)
 			exitOn(err)
 			emit(tl)
+			fmt.Println("driving the real engine under Poisson load...")
+			_, te, err := experiments.RunEngineLoadStudy(cfg, corpus, queries)
+			exitOn(err)
+			emit(te)
+			_, ts, err := experiments.RunStreamSweep(cfg, corpus, queries)
+			exitOn(err)
+			emit(ts)
 		}
 		if run("cache") {
 			_, tc, err := experiments.RunCacheStudy(cfg, corpus, queries)

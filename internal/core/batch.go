@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // BatchResult pairs one query of a batch with its outcome.
@@ -28,8 +29,7 @@ func (e *Engine) SearchBatch(queries [][]string, workers int) []BatchResult {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]BatchResult, len(queries))
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	if workers > len(queries) {
 		workers = len(queries)
@@ -39,10 +39,7 @@ func (e *Engine) SearchBatch(queries [][]string, workers int) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
 				}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
+	"griffin/internal/gpu"
+	"griffin/internal/index"
 	"griffin/internal/workload"
 )
 
@@ -38,6 +41,62 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 		}
 		if !reflect.DeepEqual(docIDsOf(r.Result), docIDsOf(seq)) {
 			t.Fatalf("query %d: batch top-k differs from sequential", i)
+		}
+	}
+}
+
+// Mid-batch failures stay per-query: a query that dies on the device
+// reports its own error in its own submission slot, while every other
+// query of the batch completes normally, in order. (The atomic
+// work-index counter hands each slot to exactly one worker, so a failed
+// slot can neither stall nor reorder its neighbours.)
+func TestSearchBatchErrorIsolationAndOrder(t *testing.T) {
+	c, err := workload.GenerateCorpus(workload.CorpusSpec{
+		NumDocs:    500_000,
+		NumTerms:   10,
+		MaxListLen: 200_000,
+		MinListLen: 100_000,
+		Alpha:      0.3,
+		Codec:      index.CodecEF,
+		Seed:       64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 KB device: any query that reaches the device OOMs. Queries with
+	// a missing term short-circuit before device work and succeed.
+	e, err := New(c.Index, Config{Mode: GPUOnly, Device: tinyDevice(64 << 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]string, 0, 20)
+	for i := 0; i < 10; i++ {
+		batch = append(batch,
+			[]string{c.Terms[i%len(c.Terms)], c.Terms[(i+1)%len(c.Terms)]}, // OOMs
+			[]string{c.Terms[i%len(c.Terms)], "no-such-term"})              // succeeds, empty
+	}
+	results := e.SearchBatch(batch, 6)
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d queries", len(results), len(batch))
+	}
+	for i, r := range results {
+		if !reflect.DeepEqual(r.Terms, batch[i]) {
+			t.Fatalf("slot %d holds terms %v, want %v (submission order lost)", i, r.Terms, batch[i])
+		}
+		if i%2 == 0 {
+			if !errors.Is(r.Err, gpu.ErrOutOfMemory) {
+				t.Fatalf("slot %d: err = %v, want ErrOutOfMemory", i, r.Err)
+			}
+			if r.Result != nil {
+				t.Fatalf("slot %d: failed query carries a result", i)
+			}
+		} else {
+			if r.Err != nil {
+				t.Fatalf("slot %d: healthy query failed: %v (neighbour's error leaked)", i, r.Err)
+			}
+			if r.Result == nil || len(r.Result.Docs) != 0 {
+				t.Fatalf("slot %d: missing-term query result wrong: %+v", i, r.Result)
+			}
 		}
 	}
 }

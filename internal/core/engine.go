@@ -86,6 +86,22 @@ type Config struct {
 	CPU hwmodel.CPUModel
 	// Device is the simulated GPU; required unless Mode == CPUOnly.
 	Device *gpu.Device
+	// Runtime shares the device among engines; nil means the engine
+	// builds its own gpu.DeviceRuntime over Device. All queries of an
+	// engine — Search, SearchBatch, warmup — go through one runtime, so
+	// concurrent queries contend for the modeled device and are charged
+	// queueing delay (Stats.GPUWait) when it is busy.
+	Runtime *gpu.DeviceRuntime
+	// Streams bounds the runtime's simulated compute lanes when the
+	// engine builds its own runtime (0 = 1, the K20's single compute
+	// engine). Ignored when Runtime is set.
+	Streams int
+	// SpillBacklog enables load-aware admission: when > 0, the engine
+	// wraps its scheduling policy so intersections spill to the CPU plan
+	// whenever the device runtime's compute backlog exceeds this
+	// threshold — loadsim.RunAdaptive's behaviour promoted into the real
+	// engine (§3.2's load-balancing hook). Zero disables spilling.
+	SpillBacklog time.Duration
 	// BM25 are the scoring parameters; the zero value means defaults.
 	BM25 rank.BM25Params
 	// CacheLists keeps compressed posting lists resident in device memory
@@ -100,10 +116,11 @@ type Config struct {
 
 // Engine executes queries against one index.
 type Engine struct {
-	ix     *index.Index
-	cfg    Config
-	scorer *rank.Scorer
-	cache  *listCache
+	ix      *index.Index
+	cfg     Config
+	scorer  *rank.Scorer
+	cache   *listCache
+	runtime *gpu.DeviceRuntime
 }
 
 // New builds an engine, validating that GPU modes have a device.
@@ -130,6 +147,12 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 		cfg.CPUSkipThreshold = intersect.DefaultSkipThreshold
 	}
 	e := &Engine{ix: ix, cfg: cfg, scorer: rank.NewScorer(ix, cfg.BM25)}
+	if cfg.Device != nil {
+		e.runtime = cfg.Runtime
+		if e.runtime == nil {
+			e.runtime = gpu.NewRuntime(cfg.Device, cfg.Streams)
+		}
+	}
 	if cfg.CacheLists {
 		if cfg.CacheBytes <= 0 {
 			cfg.CacheBytes = 4 << 30
@@ -159,12 +182,16 @@ func (e *Engine) CachedLists() int {
 // Warmup preloads the given terms' compressed posting lists into the
 // device cache (no-op without CacheLists), so a service can pay the PCIe
 // uploads for its hottest terms before taking traffic. It returns the
-// number of lists now resident and the simulated upload time.
+// number of lists now resident and the simulated upload time. Warmup is
+// admitted into the shared device runtime like any query, so warming a
+// live engine contends with (and delays) in-flight traffic on the copy
+// engine, exactly as real PCIe preloading would.
 func (e *Engine) Warmup(terms []string) (int, time.Duration, error) {
-	if e.cache == nil || e.cfg.Device == nil {
+	if e.cache == nil || e.runtime == nil {
 		return 0, 0, nil
 	}
-	s := e.cfg.Device.NewStream()
+	h := e.runtime.Admit()
+	defer h.Release()
 	loaded := 0
 	for _, term := range terms {
 		pl, ok := e.ix.Lookup(term)
@@ -176,9 +203,14 @@ func (e *Engine) Warmup(terms []string) (int, time.Duration, error) {
 			loaded++
 			continue
 		}
-		comp, err := kernels.UploadEF(s, pl.EF)
+		var comp *gpu.Buffer
+		err := h.Submit(gpu.CopyEngine, func(s *gpu.Stream) error {
+			c, err := kernels.UploadEF(s, pl.EF)
+			comp = c
+			return err
+		})
 		if err != nil {
-			return loaded, s.Elapsed(), err
+			return loaded, h.Stream().Elapsed(), err
 		}
 		if release, ok := e.cache.put(pl.Term, comp); ok {
 			release()
@@ -187,7 +219,7 @@ func (e *Engine) Warmup(terms []string) (int, time.Duration, error) {
 			comp.Free()
 		}
 	}
-	return loaded, s.Elapsed(), nil
+	return loaded, h.Stream().Elapsed(), nil
 }
 
 // Index returns the engine's index.
@@ -225,8 +257,35 @@ type Result struct {
 // Execution is plan-based: the engine's Mode selects a plan builder, and
 // the exec layer's single executor walks the resulting operator pipeline
 // (fetch → upload/decompress → intersect → migrate → score → top-k) on
-// one shared simulated timeline.
+// one shared simulated timeline. Device work goes through the engine's
+// shared DeviceRuntime: a query running alone reproduces the paper's
+// per-query numbers exactly, while queries overlapping in wall clock
+// contend for the modeled device and pay queueing delay (Stats.GPUWait).
 func (e *Engine) Search(terms []string) (*Result, error) {
+	var h *gpu.QueryStream
+	if e.runtime != nil {
+		h = e.runtime.Admit()
+		defer h.Release()
+	}
+	return e.search(terms, h)
+}
+
+// SearchAt runs one query arriving at an explicit simulated time on the
+// device runtime's global timeline — the load-study entry point. A
+// driver generating (e.g. Poisson) arrivals calls SearchAt in arrival
+// order; backlog left on the device by earlier arrivals delays this
+// query even though the driver executes queries one at a time, so the
+// returned latency is the arrival-to-completion sojourn time.
+func (e *Engine) SearchAt(terms []string, arrival time.Duration) (*Result, error) {
+	var h *gpu.QueryStream
+	if e.runtime != nil {
+		h = e.runtime.AdmitAt(arrival)
+		defer h.Release()
+	}
+	return e.search(terms, h)
+}
+
+func (e *Engine) search(terms []string, h *gpu.QueryStream) (*Result, error) {
 	fetches := make([]exec.Fetch, len(terms))
 	for i, t := range terms {
 		fetches[i] = exec.Fetch{Term: t}
@@ -237,32 +296,51 @@ func (e *Engine) Search(terms []string) (*Result, error) {
 	ctx := &exec.Context{
 		CPU:           e.cfg.CPU,
 		Device:        e.cfg.Device,
+		Handle:        h,
 		Lists:         e.listProvider(),
 		Scorer:        e.scorer,
 		SkipThreshold: e.cfg.CPUSkipThreshold,
 		TopK:          e.cfg.TopK,
 	}
-	out, err := exec.Run(ctx, fetches, e.planBuilder)
+	out, err := exec.Run(ctx, fetches, e.planBuilder(e.queryPolicy(h)))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Docs: out.Docs, Stats: out.Stats}, nil
 }
 
+// queryPolicy returns the scheduling policy for one query: the
+// configured policy, wrapped with the load-aware spill when the engine
+// has SpillBacklog set — the wrapper reads this query's view of the
+// device backlog (its runtime handle) before every placement decision.
+func (e *Engine) queryPolicy(h *gpu.QueryStream) sched.Policy {
+	p := e.cfg.Policy
+	if e.cfg.SpillBacklog > 0 && h != nil {
+		p = &sched.LoadAwarePolicy{Inner: p, Backlog: h, Threshold: e.cfg.SpillBacklog}
+	}
+	return p
+}
+
 // planBuilder maps the engine's Mode to its plan builder — the only
 // thing the four execution modes differ in.
-func (e *Engine) planBuilder(ordered []*index.PostingList) exec.Builder {
-	switch e.cfg.Mode {
-	case CPUOnly:
-		return exec.NewCPUBuilder(ordered)
-	case GPUOnly:
-		return exec.NewGPUBuilder(ordered, e.cfg.GPUCrossover)
-	case PerQueryHybrid:
-		return exec.NewPerQueryBuilder(ordered, e.cfg.Policy, e.cfg.GPUCrossover)
-	default:
-		return exec.NewHybridBuilder(ordered, e.cfg.Policy, e.cfg.GPUCrossover)
+func (e *Engine) planBuilder(policy sched.Policy) func(ordered []*index.PostingList) exec.Builder {
+	return func(ordered []*index.PostingList) exec.Builder {
+		switch e.cfg.Mode {
+		case CPUOnly:
+			return exec.NewCPUBuilder(ordered)
+		case GPUOnly:
+			return exec.NewGPUBuilder(ordered, e.cfg.GPUCrossover)
+		case PerQueryHybrid:
+			return exec.NewPerQueryBuilder(ordered, policy, e.cfg.GPUCrossover)
+		default:
+			return exec.NewHybridBuilder(ordered, policy, e.cfg.GPUCrossover)
+		}
 	}
 }
+
+// Runtime returns the engine's shared device runtime (nil for CPU-only
+// engines) — the telemetry surface for device utilization and backlog.
+func (e *Engine) Runtime() *gpu.DeviceRuntime { return e.runtime }
 
 // listProvider exposes the engine's resident-list cache to cacheable
 // Upload operators; without caching, uploads go straight over PCIe.

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -26,7 +29,42 @@ import (
 
 var updateGoldens = flag.Bool("update-goldens", false, "rewrite the golden-equivalence corpus from the current engine")
 
-const goldenPath = "testdata/golden_equivalence.json"
+// The corpus is stored gzip-compressed (the JSON is ~650 KB of highly
+// repetitive records; compressed it is a tenth of that in the repo).
+const goldenPath = "testdata/golden_equivalence.json.gz"
+
+// readGolden decompresses the stored corpus.
+func readGolden(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// writeGolden compresses and writes the corpus (-update-goldens only).
+// The gzip header carries no name or timestamp, so regeneration with
+// unchanged content is byte-stable.
+func writeGolden(path string, data []byte) error {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if err != nil {
+		return err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
 
 type goldenDoc struct {
 	DocID     uint32 `json:"doc_id"`
@@ -110,6 +148,13 @@ func TestGoldenEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s query %d %v: %v", name, i, q.Terms, err)
 			}
+			// Sequential queries admit into an idle device runtime: the
+			// shared-runtime path must charge zero queueing delay, or the
+			// golden timings below could not match the private-stream era.
+			if res.Stats.GPUWait != 0 {
+				t.Fatalf("%s query %d %v: contention-free query charged %v queueing delay",
+					name, i, q.Terms, res.Stats.GPUWait)
+			}
 			rec := goldenRecord(res)
 			rec.Terms = q.Terms
 			rows[i] = rec
@@ -125,14 +170,14 @@ func TestGoldenEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+		if err := writeGolden(goldenPath, data); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("wrote %s (%d modes x %d queries)", goldenPath, len(got.Modes), len(queries))
 		return
 	}
 
-	data, err := os.ReadFile(goldenPath)
+	data, err := readGolden(goldenPath)
 	if err != nil {
 		t.Fatalf("read goldens (regenerate with -update-goldens): %v", err)
 	}

@@ -59,6 +59,13 @@ type Context struct {
 	// Device is the simulated GPU; may be nil when no builder emits
 	// device operators.
 	Device *gpu.Device
+	// Handle is the query's admission into the shared device runtime.
+	// When set, every device operator is submitted through it — occupying
+	// the runtime's copy/compute engine queues and getting charged modeled
+	// queueing delay behind concurrent queries' work. When nil the query
+	// gets a private stream with an independent clock (the paper's
+	// single-query prototype behaviour).
+	Handle *gpu.QueryStream
 	// Lists provides device-resident compressed lists to cacheable
 	// uploads; nil means upload directly (no cache).
 	Lists ListProvider
@@ -156,6 +163,9 @@ func Run(ctx *Context, fetches []Fetch, mkBuilder func(ordered []*index.PostingL
 	}
 
 	r.stats.Candidates = len(r.hostIDs)
+	if ctx.Handle != nil {
+		r.stats.GPUWait = ctx.Handle.Waited()
+	}
 	r.stats.Latency = r.stats.CPUTime + r.stats.GPUTime
 	return &Outcome{Docs: docs, Candidates: r.hostIDs, Stats: r.stats}, nil
 }
@@ -226,11 +236,31 @@ func (r *runner) ensureStream() error {
 	if r.stream != nil {
 		return nil
 	}
+	if r.ctx.Handle != nil {
+		r.stream = r.ctx.Handle.Stream()
+		return nil
+	}
 	if r.ctx.Device == nil {
 		return fmt.Errorf("exec: plan places work on the GPU but the context has no device")
 	}
 	r.stream = r.ctx.Device.NewStream()
 	return nil
+}
+
+// submitDevice runs one device work item on the query's stream. With a
+// runtime handle the item goes through the shared device: it occupies
+// the given engine's queue on the global timeline and the stream is
+// charged queueing delay first when the engine is busy with other
+// queries' work. Without a handle it runs directly on the private
+// stream (no cross-query contention).
+func (r *runner) submitDevice(class gpu.EngineClass, fn func(*gpu.Stream) error) error {
+	if err := r.ensureStream(); err != nil {
+		return err
+	}
+	if h := r.ctx.Handle; h != nil {
+		return h.Submit(class, fn)
+	}
+	return fn(r.stream)
 }
 
 func (r *runner) elapsed() time.Duration {
@@ -286,7 +316,12 @@ func (r *runner) exec(op *Op) error {
 		start := r.elapsed()
 		if op.Arg.List == nil {
 			// Raw intermediate upload (host -> device).
-			buf, err := r.stream.H2D(r.hostIDs, int64(len(r.hostIDs))*4)
+			var buf *gpu.Buffer
+			err := r.submitDevice(gpu.CopyEngine, func(s *gpu.Stream) error {
+				b, err := s.H2D(r.hostIDs, int64(len(r.hostIDs))*4)
+				buf = b
+				return err
+			})
 			if err != nil {
 				return err
 			}
@@ -301,7 +336,12 @@ func (r *runner) exec(op *Op) error {
 			if provider == nil || !op.Cacheable {
 				provider = directUpload{}
 			}
-			dl, err := provider.DeviceCompressed(r.stream, pl)
+			var dl DeviceList
+			err := r.submitDevice(gpu.CopyEngine, func(s *gpu.Stream) error {
+				var err error
+				dl, err = provider.DeviceCompressed(s, pl)
+				return err
+			})
 			if err != nil {
 				return err
 			}
@@ -320,9 +360,17 @@ func (r *runner) exec(op *Op) error {
 		rec.Took = r.elapsed() - start
 
 	case OpDecompress:
+		if err := r.ensureStream(); err != nil {
+			return err
+		}
 		start := r.elapsed()
 		pl := op.Arg.List
-		dec, _, err := kernels.ParaEFDecompress(r.stream, r.entry(pl).comp)
+		var dec *gpu.Buffer
+		err := r.submitDevice(gpu.ComputeEngine, func(s *gpu.Stream) error {
+			d, _, err := kernels.ParaEFDecompress(s, r.entry(pl).comp)
+			dec = d
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -392,6 +440,9 @@ func (r *runner) intersectCPU(op *Op, rec *OpRecord) error {
 // intersectGPU runs one device intersection kernel over the declared
 // operands' resident buffers.
 func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
+	if err := r.ensureStream(); err != nil {
+		return err
+	}
 	start := r.elapsed()
 	var shortBuf *gpu.Buffer
 	if op.Short.List != nil {
@@ -402,12 +453,15 @@ func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
 		shortBuf.Data = r.devRes.Matches()
 	}
 	var out *kernels.IntersectResult
-	var err error
-	if op.Algo == AlgoBinarySkips {
-		out, err = kernels.IntersectBinarySkips(r.stream, shortBuf, r.entry(op.Long.List).comp)
-	} else {
-		out, err = kernels.IntersectMergePath(r.stream, shortBuf, r.entry(op.Long.List).dec)
-	}
+	err := r.submitDevice(gpu.ComputeEngine, func(s *gpu.Stream) error {
+		var err error
+		if op.Algo == AlgoBinarySkips {
+			out, err = kernels.IntersectBinarySkips(s, shortBuf, r.entry(op.Long.List).comp)
+		} else {
+			out, err = kernels.IntersectMergePath(s, shortBuf, r.entry(op.Long.List).dec)
+		}
+		return err
+	})
 	if err != nil {
 		return err
 	}
@@ -430,25 +484,36 @@ func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
 // migration (sets Migrated), the end-of-plan drain (Final), or the
 // single-list decompressed-list drain (Arg.List set).
 func (r *runner) migrate(op *Op, rec *OpRecord) error {
+	if err := r.ensureStream(); err != nil {
+		return err
+	}
 	start := r.elapsed()
+	d2h := func(buf *gpu.Buffer, bytes int64) []uint32 {
+		var ids []uint32
+		_ = r.submitDevice(gpu.CopyOutEngine, func(s *gpu.Stream) error {
+			ids = s.D2H(buf, bytes).([]uint32)
+			return nil
+		})
+		return ids
+	}
 	switch {
 	case op.Arg.List != nil:
 		// Drain a decompressed posting list (single-term device plan).
 		pl := op.Arg.List
-		ids := r.stream.D2H(r.entry(pl).dec, int64(pl.N)*4).([]uint32)
+		ids := d2h(r.entry(pl).dec, int64(pl.N)*4)
 		r.hostIDs = ids
 		rec.NIn, rec.NOut = pl.N, len(ids)
 		rec.Bytes = int64(pl.N) * 4
 	case op.Final:
 		r.hostIDs = []uint32{}
 		if r.devRes.Count > 0 {
-			r.hostIDs = r.stream.D2H(r.devRes.Out, int64(r.devRes.Count)*4).([]uint32)[:r.devRes.Count]
+			r.hostIDs = d2h(r.devRes.Out, int64(r.devRes.Count)*4)[:r.devRes.Count]
 			rec.Bytes = int64(r.devRes.Count) * 4
 		}
 		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
 	default:
 		// Mid-query migration: execution moves to the CPU (§3.2).
-		r.hostIDs = r.stream.D2H(r.devRes.Out, int64(r.devRes.Count)*4).([]uint32)[:r.devRes.Count]
+		r.hostIDs = d2h(r.devRes.Out, int64(r.devRes.Count)*4)[:r.devRes.Count]
 		r.stats.Migrated = true
 		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
 		rec.Bytes = int64(r.devRes.Count) * 4

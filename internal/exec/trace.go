@@ -53,6 +53,11 @@ type QueryStats struct {
 	// CPUTime and GPUTime split the latency by processor.
 	CPUTime time.Duration
 	GPUTime time.Duration
+	// GPUWait is the modeled queueing delay the query was charged while
+	// the shared device runtime served other queries' work. It is part
+	// of GPUTime (the waits happen on the device timeline); zero when
+	// the query ran contention-free or on a private stream.
+	GPUWait time.Duration
 	// Migrated reports whether a Hybrid query moved from GPU to CPU.
 	Migrated bool
 	// Candidates is the final intersection size entering ranking.

@@ -1,0 +1,372 @@
+// Device runtime: the device as a *shared, timed* resource.
+//
+// A Stream models one query's private view of the device: its clock is
+// that query's service time, and two streams know nothing about each
+// other. That is faithful to the paper's single-query prototype but
+// makes multi-user load invisible — concurrent queries would each see an
+// idle device. DeviceRuntime closes the gap: it owns a bounded set of
+// simulated compute lanes (hardware stream slots) plus a copy-engine
+// queue, tracks every admitted query on one global device timeline, and
+// charges each submitted work item its modeled service cost *plus the
+// queueing delay* it would have experienced behind work from other
+// queries. Per-query simulated latency thereby becomes a function of
+// offered load, while a query running alone reproduces the private-
+// stream numbers exactly (zero queueing, bit-identical clocks).
+package gpu
+
+import (
+	"sync"
+	"time"
+)
+
+// EngineClass selects which of the device's hardware engines a submitted
+// work item occupies. The K20's GK110 exposes dual copy engines (one per
+// PCIe direction) alongside the compute engine, so uploads, downloads,
+// and kernels all queue independently — in particular, one query's final
+// result drain does not stall the next query's list upload.
+type EngineClass int
+
+const (
+	// CopyEngine serializes host-to-device PCIe traffic (uploads).
+	CopyEngine EngineClass = iota
+	// CopyOutEngine serializes device-to-host PCIe traffic (downloads,
+	// migrations, result drains).
+	CopyOutEngine
+	// ComputeEngine runs kernels (and their device-side allocations) on
+	// one of the runtime's bounded compute lanes.
+	ComputeEngine
+)
+
+// String implements fmt.Stringer.
+func (c EngineClass) String() string {
+	switch c {
+	case CopyEngine:
+		return "copy-in"
+	case CopyOutEngine:
+		return "copy-out"
+	default:
+		return "compute"
+	}
+}
+
+// LaneSpan is one work item's occupancy interval on a runtime lane,
+// recorded when runtime profiling is enabled. Start/End are points on
+// the global device timeline.
+type LaneSpan struct {
+	Start, End time.Duration
+	Query      int64 // admission id of the owning query
+}
+
+// lane is one serialized engine queue on the global timeline.
+type lane struct {
+	busyUntil time.Duration
+	spans     []LaneSpan
+}
+
+// DeviceRuntime multiplexes one simulated device among concurrent
+// queries. All methods are safe for concurrent use.
+type DeviceRuntime struct {
+	dev     *Device
+	streams int
+
+	mu      sync.Mutex
+	compute []lane
+	copyEng [2]lane // [0] host-to-device, [1] device-to-host
+	// clock is the runtime's notion of "now" for untimed admissions: it
+	// advances to the busy horizon whenever the device goes idle, so a
+	// query arriving at an idle device sees zero backlog (contention-free
+	// parity), while queries overlapping in wall time share one epoch and
+	// contend on the timeline.
+	clock  time.Duration
+	active int
+
+	admitted    int64
+	computeBusy time.Duration
+	copyBusy    time.Duration
+	waited      time.Duration
+	horizon     time.Duration
+	profiling   bool
+}
+
+// NewRuntime returns a runtime over dev with the given number of compute
+// lanes (simulated stream slots); streams <= 0 means 1, the K20's single
+// compute engine. The dual copy engines are always one queue per PCIe
+// direction, as on the GK110.
+func NewRuntime(dev *Device, streams int) *DeviceRuntime {
+	if streams <= 0 {
+		streams = 1
+	}
+	return &DeviceRuntime{dev: dev, streams: streams, compute: make([]lane, streams)}
+}
+
+// Device returns the underlying simulated device.
+func (rt *DeviceRuntime) Device() *Device { return rt.dev }
+
+// Streams returns the number of compute lanes.
+func (rt *DeviceRuntime) Streams() int { return rt.streams }
+
+// EnableProfiling turns on lane-occupancy recording (LaneSpans). Like
+// stream profiling it costs nothing on the simulated clocks.
+func (rt *DeviceRuntime) EnableProfiling() {
+	rt.mu.Lock()
+	rt.profiling = true
+	rt.mu.Unlock()
+}
+
+// ComputeSpans returns a copy of each compute lane's recorded occupancy
+// intervals (profiling only).
+func (rt *DeviceRuntime) ComputeSpans() [][]LaneSpan {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([][]LaneSpan, len(rt.compute))
+	for i := range rt.compute {
+		out[i] = append([]LaneSpan(nil), rt.compute[i].spans...)
+	}
+	return out
+}
+
+// CopySpans returns a copy of each copy engine's recorded occupancy
+// intervals (profiling only): index 0 is host-to-device, 1 is
+// device-to-host.
+func (rt *DeviceRuntime) CopySpans() [][]LaneSpan {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([][]LaneSpan, len(rt.copyEng))
+	for i := range rt.copyEng {
+		out[i] = append([]LaneSpan(nil), rt.copyEng[i].spans...)
+	}
+	return out
+}
+
+// QueryStream is one admitted query's handle on the runtime: a private
+// Stream carrying the query's service time plus an anchor placing that
+// stream on the global device timeline. Submit work through it; Release
+// it when the query completes.
+type QueryStream struct {
+	rt     *DeviceRuntime
+	s      *Stream
+	id     int64
+	anchor time.Duration
+
+	mu       sync.Mutex
+	waited   time.Duration
+	released bool
+}
+
+// Admit registers a query with no explicit arrival time (the service
+// path: Search, SearchBatch, HTTP handlers). If the device is idle the
+// query is anchored past all previously accumulated work — it sees no
+// backlog — otherwise it joins the in-flight queries' epoch and contends
+// with them on the timeline.
+func (rt *DeviceRuntime) Admit() *QueryStream {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.active == 0 && rt.horizon > rt.clock {
+		rt.clock = rt.horizon
+	}
+	return rt.admitLocked(rt.clock)
+}
+
+// AdmitAt registers a query arriving at an explicit point on the global
+// timeline — the load-study path, where a driver generates simulated
+// (e.g. Poisson) arrivals and executes queries in arrival order. Backlog
+// left by earlier-arriving queries delays this one even though the
+// driver runs queries one at a time in wall clock.
+func (rt *DeviceRuntime) AdmitAt(arrival time.Duration) *QueryStream {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if arrival > rt.clock {
+		rt.clock = arrival
+	}
+	return rt.admitLocked(arrival)
+}
+
+func (rt *DeviceRuntime) admitLocked(anchor time.Duration) *QueryStream {
+	rt.admitted++
+	rt.active++
+	return &QueryStream{rt: rt, s: rt.dev.NewStream(), id: rt.admitted, anchor: anchor}
+}
+
+// Release returns the query's slot; the runtime fast-forwards its idle
+// clock when the last in-flight query leaves. Releasing twice is a no-op.
+func (h *QueryStream) Release() {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return
+	}
+	h.released = true
+	h.mu.Unlock()
+	rt := h.rt
+	rt.mu.Lock()
+	rt.active--
+	rt.mu.Unlock()
+}
+
+// Stream returns the query's underlying stream (for profiling and for
+// reading the query's simulated clock).
+func (h *QueryStream) Stream() *Stream { return h.s }
+
+// Waited returns the total queueing delay charged to this query so far.
+func (h *QueryStream) Waited() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.waited
+}
+
+// Arrival returns the query's anchor on the global device timeline.
+func (h *QueryStream) Arrival() time.Duration { return h.anchor }
+
+// Submit runs one work item on the given engine. The item becomes ready
+// at the query's current position on the global timeline (anchor +
+// stream clock); if the chosen engine lane is still busy with other
+// queries' work, the difference is charged to the query's stream as
+// queueing delay *before* fn runs, then fn executes on the stream and
+// its service time occupies the lane. fn's error is returned unchanged.
+//
+// The runtime lock is held across fn: work items serialize in wall
+// clock (kernels stay internally parallel on the block worker pool),
+// which makes admission order — and therefore the whole timeline —
+// coherent without reservations.
+func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
+	rt := h.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	ready := h.anchor + h.s.Elapsed()
+	ln := rt.pickLane(class)
+	start := ready
+	if ln.busyUntil > start {
+		start = ln.busyUntil
+	}
+	if delay := start - ready; delay > 0 {
+		h.s.record("wait", class.String(), 0, h.s.elapsed, delay)
+		h.s.elapsed += delay
+		h.mu.Lock()
+		h.waited += delay
+		h.mu.Unlock()
+		rt.waited += delay
+	}
+
+	before := h.s.Elapsed()
+	err := fn(h.s)
+	took := h.s.Elapsed() - before
+
+	end := start + took
+	ln.busyUntil = end
+	if rt.profiling && took > 0 {
+		ln.spans = append(ln.spans, LaneSpan{Start: start, End: end, Query: h.id})
+	}
+	if class == ComputeEngine {
+		rt.computeBusy += took
+	} else {
+		rt.copyBusy += took
+	}
+	if end > rt.horizon {
+		rt.horizon = end
+	}
+	return err
+}
+
+// pickLane selects the least-loaded lane of the class (each copy
+// direction is a single queue).
+func (rt *DeviceRuntime) pickLane(class EngineClass) *lane {
+	switch class {
+	case CopyEngine:
+		return &rt.copyEng[0]
+	case CopyOutEngine:
+		return &rt.copyEng[1]
+	}
+	best := &rt.compute[0]
+	for i := 1; i < len(rt.compute); i++ {
+		if rt.compute[i].busyUntil < best.busyUntil {
+			best = &rt.compute[i]
+		}
+	}
+	return best
+}
+
+// PendingTime reports the queueing delay a kernel submitted by this
+// query right now would experience: how far past the query's current
+// timeline position the earliest compute lane frees up. Load-aware
+// scheduling policies (sched.LoadAwarePolicy) read it to decide whether
+// the device is worth waiting for.
+func (h *QueryStream) PendingTime() time.Duration {
+	rt := h.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ready := h.anchor + h.s.Elapsed()
+	return rt.pendingLocked(ready)
+}
+
+// PendingTime reports the compute backlog a query admitted right now
+// would face: the earliest compute lane's remaining busy time relative
+// to the runtime clock. Zero when the device is idle.
+func (rt *DeviceRuntime) PendingTime() time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.active == 0 {
+		return 0
+	}
+	return rt.pendingLocked(rt.clock)
+}
+
+func (rt *DeviceRuntime) pendingLocked(ready time.Duration) time.Duration {
+	minBusy := rt.compute[0].busyUntil
+	for i := 1; i < len(rt.compute); i++ {
+		if rt.compute[i].busyUntil < minBusy {
+			minBusy = rt.compute[i].busyUntil
+		}
+	}
+	if minBusy > ready {
+		return minBusy - ready
+	}
+	return 0
+}
+
+// RuntimeStats is a telemetry snapshot of the runtime.
+type RuntimeStats struct {
+	// Streams is the compute-lane count; Active and Admitted count
+	// in-flight and lifetime admitted queries.
+	Streams  int
+	Active   int
+	Admitted int64
+	// ComputeBusy and CopyBusy are aggregate engine service time;
+	// Waited is total queueing delay charged across all queries.
+	ComputeBusy time.Duration
+	CopyBusy    time.Duration
+	Waited      time.Duration
+	// Horizon is the busy frontier of the global timeline; Backlog the
+	// current compute backlog (PendingTime).
+	Horizon time.Duration
+	Backlog time.Duration
+	// Utilization is ComputeBusy over the compute lanes' total timeline
+	// capacity (Streams x Horizon), in [0,1].
+	Utilization float64
+}
+
+// Stats returns a telemetry snapshot.
+func (rt *DeviceRuntime) Stats() RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := RuntimeStats{
+		Streams:     rt.streams,
+		Active:      rt.active,
+		Admitted:    rt.admitted,
+		ComputeBusy: rt.computeBusy,
+		CopyBusy:    rt.copyBusy,
+		Waited:      rt.waited,
+		Horizon:     rt.horizon,
+	}
+	if rt.active > 0 {
+		st.Backlog = rt.pendingLocked(rt.clock)
+	}
+	if rt.horizon > 0 {
+		st.Utilization = float64(rt.computeBusy) / (float64(rt.streams) * float64(rt.horizon))
+	}
+	return st
+}
+
+// Utilization returns compute-engine utilization over the timeline so
+// far, in [0,1].
+func (rt *DeviceRuntime) Utilization() float64 { return rt.Stats().Utilization }

@@ -1,0 +1,65 @@
+package sched
+
+import "time"
+
+// DeviceBacklog is a live view of the device's compute queue, reported
+// as the delay a kernel submitted right now would wait before starting.
+// gpu.QueryStream and gpu.DeviceRuntime both satisfy it.
+type DeviceBacklog interface {
+	PendingTime() time.Duration
+}
+
+// LoadAwarePolicy wraps another policy with admission control under
+// load: it consults the device backlog before every placement and
+// overrides a GPU decision to CPU whenever the backlog exceeds
+// Threshold. This is the paper's load-balancing observation (§5: the
+// CPU baseline is strong enough that spilling to it beats queueing)
+// promoted from the loadsim trace replay into the real scheduler — a
+// query facing a saturated device takes the slightly-slower CPU plan
+// instead of the queue, which bounds tail latency while the static
+// policy's P99 grows with offered load.
+//
+// CPU decisions pass through untouched, as does the inner policy's
+// migration state: a spilled intersection does not mark the query
+// migrated, so later intersections may return to the device once the
+// backlog drains (spilling is per-operation, not sticky).
+type LoadAwarePolicy struct {
+	// Inner makes the load-free placement decision (nil means the
+	// paper's RatioPolicy).
+	Inner Policy
+	// Backlog reports the current device queue delay.
+	Backlog DeviceBacklog
+	// Threshold is the backlog above which GPU work spills to the CPU.
+	Threshold time.Duration
+
+	// Spilled counts the GPU decisions this query overrode to CPU.
+	Spilled int
+}
+
+// Decide implements Policy.
+func (p *LoadAwarePolicy) Decide(shortLen, longLen int) Decision {
+	inner := p.Inner
+	if inner == nil {
+		inner = NewRatioPolicy()
+		p.Inner = inner
+	}
+	d := inner.Decide(shortLen, longLen)
+	if d.Where != GPU || p.Backlog == nil || p.Threshold <= 0 {
+		return d
+	}
+	if p.Backlog.PendingTime() > p.Threshold {
+		d.Where = CPU
+		p.Spilled++
+	}
+	return d
+}
+
+// Fresh implements Policy. The fresh instance shares the backlog view
+// and threshold but gets a fresh inner policy (clean migration state).
+func (p *LoadAwarePolicy) Fresh() Policy {
+	inner := p.Inner
+	if inner == nil {
+		inner = NewRatioPolicy()
+	}
+	return &LoadAwarePolicy{Inner: inner.Fresh(), Backlog: p.Backlog, Threshold: p.Threshold}
+}

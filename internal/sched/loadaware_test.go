@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeBacklog is a settable DeviceBacklog.
+type fakeBacklog struct{ pending time.Duration }
+
+func (f *fakeBacklog) PendingTime() time.Duration { return f.pending }
+
+func TestLoadAwareSpillsAboveThreshold(t *testing.T) {
+	bl := &fakeBacklog{}
+	p := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl, Threshold: time.Millisecond}
+
+	// Ratio 2 < 128: the inner policy picks GPU. Idle device: passes through.
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("idle device: got %v, want GPU", d.Where)
+	}
+	if p.Spilled != 0 {
+		t.Fatalf("idle device counted a spill")
+	}
+
+	// Backlog above threshold: the same decision spills to CPU.
+	bl.pending = 2 * time.Millisecond
+	if d := p.Decide(100, 200); d.Where != CPU {
+		t.Fatalf("loaded device: got %v, want CPU spill", d.Where)
+	}
+	if p.Spilled != 1 {
+		t.Fatalf("spill not counted: %d", p.Spilled)
+	}
+
+	// Backlog drains: the query returns to the device — spilling is
+	// per-operation, not sticky migration.
+	bl.pending = 0
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("drained device: got %v, want GPU again", d.Where)
+	}
+}
+
+func TestLoadAwarePassesThroughCPUDecisions(t *testing.T) {
+	bl := &fakeBacklog{pending: time.Second}
+	p := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl, Threshold: time.Millisecond}
+	// Ratio 1000 >= 128: inner says CPU regardless of load.
+	if d := p.Decide(10, 10000); d.Where != CPU {
+		t.Fatalf("got %v, want CPU", d.Where)
+	}
+	if p.Spilled != 0 {
+		t.Fatalf("CPU decision counted as spill")
+	}
+}
+
+func TestLoadAwareBoundaryAndDisabled(t *testing.T) {
+	bl := &fakeBacklog{pending: time.Millisecond}
+	// Backlog equal to threshold does not spill (strict >).
+	p := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl, Threshold: time.Millisecond}
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("boundary backlog spilled")
+	}
+	// Zero threshold disables spilling entirely.
+	p = &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl}
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("zero threshold spilled")
+	}
+	// Nil backlog never spills.
+	p = &LoadAwarePolicy{Inner: NewRatioPolicy(), Threshold: time.Millisecond}
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("nil backlog spilled")
+	}
+}
+
+func TestLoadAwareFresh(t *testing.T) {
+	bl := &fakeBacklog{pending: time.Second}
+	p := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl, Threshold: time.Millisecond, Spilled: 3}
+	f, ok := p.Fresh().(*LoadAwarePolicy)
+	if !ok {
+		t.Fatalf("Fresh returned %T", p.Fresh())
+	}
+	if f.Spilled != 0 {
+		t.Fatalf("Fresh kept spill count %d", f.Spilled)
+	}
+	if f.Backlog != DeviceBacklog(bl) || f.Threshold != p.Threshold {
+		t.Fatalf("Fresh dropped backlog wiring")
+	}
+	if f.Inner == p.Inner {
+		t.Fatalf("Fresh shares inner policy state")
+	}
+	// Defaulted inner: Decide installs a RatioPolicy.
+	d := (&LoadAwarePolicy{}).Decide(100, 200)
+	if d.Where != GPU {
+		t.Fatalf("default inner: got %v, want GPU", d.Where)
+	}
+}

@@ -155,6 +155,24 @@ type StatsResponse struct {
 	Errors        int64   `json:"errors"`
 	MeanLatencyMS float64 `json:"mean_simulated_latency_ms"`
 	CachedLists   int     `json:"cached_lists"`
+	// Device is the shared device runtime's telemetry; omitted for
+	// CPU-only engines.
+	Device *DeviceStatsJSON `json:"device,omitempty"`
+}
+
+// DeviceStatsJSON reports the engine's device-runtime state: how busy
+// the modeled GPU has been, how much queueing delay concurrent queries
+// paid for it, and the backlog a query admitted now would face.
+type DeviceStatsJSON struct {
+	Streams        int     `json:"streams"`
+	ActiveQueries  int     `json:"active_queries"`
+	Admitted       int64   `json:"admitted"`
+	Utilization    float64 `json:"utilization"`
+	ComputeBusyMS  float64 `json:"compute_busy_ms"`
+	CopyBusyMS     float64 `json:"copy_busy_ms"`
+	QueueWaitMS    float64 `json:"queue_wait_ms"`
+	BacklogMS      float64 `json:"backlog_ms"`
+	TimelineSpanMS float64 `json:"timeline_span_ms"`
 }
 
 // handleStats serves GET /statz.
@@ -164,12 +182,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if n > 0 {
 		mean = float64(s.simNanos.Load()) / float64(n) / float64(time.Millisecond)
 	}
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		Queries:       n,
 		Errors:        s.errors.Load(),
 		MeanLatencyMS: mean,
 		CachedLists:   s.engine.CachedLists(),
-	})
+	}
+	if rt := s.engine.Runtime(); rt != nil {
+		st := rt.Stats()
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		resp.Device = &DeviceStatsJSON{
+			Streams:        st.Streams,
+			ActiveQueries:  st.Active,
+			Admitted:       st.Admitted,
+			Utilization:    st.Utilization,
+			ComputeBusyMS:  ms(st.ComputeBusy),
+			CopyBusyMS:     ms(st.CopyBusy),
+			QueueWaitMS:    ms(st.Waited),
+			BacklogMS:      ms(st.Backlog),
+			TimelineSpanMS: ms(st.Horizon),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

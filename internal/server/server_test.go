@@ -165,6 +165,74 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 }
 
+// /statz must surface the shared device runtime: after a burst of
+// concurrent searches the modeled GPU shows non-zero utilization and
+// admissions (the acceptance probe for the runtime being wired through
+// the service path), while a CPU-only engine reports no device at all.
+func TestStatsDeviceTelemetry(t *testing.T) {
+	srv := newTestServer(t)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, srv, "/search?q=quick+fox")
+		}()
+	}
+	wg.Wait()
+
+	_, body := get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Device == nil {
+		t.Fatal("hybrid engine reports no device telemetry")
+	}
+	d := st.Device
+	if d.Streams < 1 {
+		t.Fatalf("streams = %d", d.Streams)
+	}
+	if d.Admitted < 16 {
+		t.Fatalf("admitted = %d, want >= 16", d.Admitted)
+	}
+	if d.Utilization <= 0 || d.Utilization > 1 {
+		t.Fatalf("utilization %v not in (0,1] after concurrent batch", d.Utilization)
+	}
+	if d.ComputeBusyMS <= 0 && d.CopyBusyMS <= 0 {
+		t.Fatal("no device busy time accumulated")
+	}
+	if d.ActiveQueries != 0 {
+		t.Fatalf("active queries %d after all requests returned", d.ActiveQueries)
+	}
+	if d.QueueWaitMS < 0 || d.BacklogMS < 0 || d.TimelineSpanMS <= 0 {
+		t.Fatalf("implausible device stats: %+v", d)
+	}
+
+	// CPU-only engines have no runtime: the field is omitted.
+	b := index.NewBuilder(index.CodecEF)
+	if err := b.AddDocument(0, index.Tokenize("plain host search")); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(ix, core.Config{Mode: core.CPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, New(e), "/statz")
+	st = StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Device != nil {
+		t.Fatalf("CPU-only engine reports device telemetry: %+v", st.Device)
+	}
+}
+
 func TestSearchTraceParameter(t *testing.T) {
 	srv := newTestServer(t)
 
