@@ -28,7 +28,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1.0 = full)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
-	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache")
+	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache,cluster")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "also write all tables as one JSON document to this path")
 	flag.Parse()
@@ -158,6 +158,13 @@ func main() {
 			exitOn(err)
 			emit(tc)
 		}
+	}
+
+	if run("cluster") {
+		fmt.Println("partitioning the cluster corpus and sweeping shard counts...")
+		_, tc, err := experiments.RunShardSweep(cfg)
+		exitOn(err)
+		emit(tc)
 	}
 
 	if *jsonPath != "" {

@@ -1,29 +1,46 @@
 // Command griffin-server serves conjunctive search over a Griffin index
-// as a JSON HTTP API.
+// as a JSON HTTP API, either single-node or as a sharded scatter-gather
+// cluster.
 //
 // Usage:
 //
 //	griffin-server -index index.grif -addr :8080 -mode griffin -cache
+//	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
+//
+// With -shards N > 1 the loaded index is document-partitioned into N
+// shards (global BM25 statistics preserved, so results are identical to
+// single-node serving), each shard runs -replicas engines with private
+// simulated devices, and every query scatter-gathers across the shards.
 //
 // Endpoints:
 //
 //	GET /search?q=terms&k=10   ranked results + simulated latency
-//	GET /healthz               liveness + index stats
-//	GET /statz                 served-query counters
+//	GET /healthz               liveness + index/topology stats
+//	GET /statz                 served-query counters + per-shard telemetry
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately, in-flight requests get a drain window.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"griffin/internal/cluster"
 	"griffin/internal/core"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
 	"griffin/internal/server"
+	"griffin/internal/workload"
 )
 
 func main() {
@@ -32,6 +49,11 @@ func main() {
 	modeName := flag.String("mode", "griffin", "execution mode: cpu, gpu, perquery, or griffin")
 	cache := flag.Bool("cache", false, "keep hot compressed lists resident in device memory")
 	topK := flag.Int("k", 10, "default result count")
+	shards := flag.Int("shards", 1, "document partitions; > 1 serves scatter-gather over a sharded cluster")
+	replicas := flag.Int("replicas", 1, "engine replicas per shard (cluster mode)")
+	routingName := flag.String("routing", "rr", "replica routing: rr or least-pending (cluster mode)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard latency budget; slower shards degrade the result (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain window on shutdown")
 	flag.Parse()
 
 	modes := map[string]core.Mode{
@@ -43,6 +65,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: unknown mode %q\n", *modeName)
 		os.Exit(2)
 	}
+	routings := map[string]cluster.Routing{
+		"rr": cluster.RoundRobin, "least-pending": cluster.LeastPending,
+	}
+	routing, ok := routings[*routingName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "griffin-server: unknown routing %q\n", *routingName)
+		os.Exit(2)
+	}
 
 	f, err := os.Open(*indexPath)
 	exitOn(err)
@@ -50,16 +80,66 @@ func main() {
 	f.Close()
 	exitOn(err)
 
-	dev := gpu.New(hwmodel.DefaultGPU(), 0)
-	engine, err := core.New(ix, core.Config{
-		Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
-	})
-	exitOn(err)
-	defer engine.Close()
+	var handler http.Handler
+	if *shards > 1 {
+		ixs, err := workload.PartitionIndex(ix, *shards)
+		exitOn(err)
+		cl, err := cluster.New(ixs, cluster.Config{
+			Engine:       core.Config{Mode: mode, CacheLists: *cache},
+			TopK:         *topK,
+			Replicas:     *replicas,
+			Routing:      routing,
+			ShardTimeout: *shardTimeout,
+		})
+		exitOn(err)
+		defer cl.Close()
+		handler = server.NewCluster(cl)
+		log.Printf("griffin-server: %d docs, %d terms, mode=%s, %d shards x %d replicas (%s), listening on %s",
+			ix.NumDocs, ix.NumTerms(), mode, *shards, *replicas, routing, *addr)
+	} else {
+		dev := gpu.New(hwmodel.DefaultGPU(), 0)
+		engine, err := core.New(ix, core.Config{
+			Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
+		})
+		exitOn(err)
+		defer engine.Close()
+		handler = server.New(engine)
+		log.Printf("griffin-server: %d docs, %d terms, mode=%s, listening on %s",
+			ix.NumDocs, ix.NumTerms(), mode, *addr)
+	}
 
-	log.Printf("griffin-server: %d docs, %d terms, mode=%s, listening on %s",
-		ix.NumDocs, ix.NumTerms(), mode, *addr)
-	exitOn(http.ListenAndServe(*addr, server.New(engine)))
+	exitOn(serve(*addr, handler, *drain))
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests for up to the drain window before returning.
+func serve(addr string, handler http.Handler, drain time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("griffin-server: shutting down, draining for up to %v", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Printf("griffin-server: drained cleanly")
+	return nil
 }
 
 func exitOn(err error) {

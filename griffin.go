@@ -39,6 +39,7 @@ package griffin
 import (
 	"io"
 
+	"griffin/internal/cluster"
 	"griffin/internal/core"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
@@ -179,3 +180,39 @@ func DefaultCorpusSpec() CorpusSpec { return workload.DefaultCorpusSpec() }
 
 // DefaultQuerySpec matches the paper's 10K-query log.
 func DefaultQuerySpec() QuerySpec { return workload.DefaultQuerySpec() }
+
+// Cluster serves one corpus scatter-gather over document-partitioned
+// shards, each shard a full engine with a private simulated device.
+// Results are byte-identical to a single engine over the unpartitioned
+// corpus; see docs/cluster.md.
+type Cluster = cluster.Cluster
+
+// ClusterConfig parameterizes a Cluster (replicas, routing, per-shard
+// engine template, shard timeout).
+type ClusterConfig = cluster.Config
+
+// ClusterStats is one scatter-gather query's execution record: critical
+// path, merge cost, and per-shard outcomes including degradation.
+type ClusterStats = cluster.Stats
+
+// Routing selects the replica-routing policy.
+type Routing = cluster.Routing
+
+// Replica routing policies.
+const (
+	RoundRobin   = cluster.RoundRobin
+	LeastPending = cluster.LeastPending
+)
+
+// PartitionIndex document-partitions an index into shards (d mod n),
+// preserving global collection statistics so shard engines score
+// identically to the unpartitioned engine.
+func PartitionIndex(ix *Index, shards int) ([]*Index, error) {
+	return workload.PartitionIndex(ix, shards)
+}
+
+// NewCluster builds a cluster over one index per shard (typically the
+// output of PartitionIndex).
+func NewCluster(ixs []*Index, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(ixs, cfg)
+}

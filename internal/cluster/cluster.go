@@ -1,0 +1,299 @@
+// Package cluster is the sharded serving layer above the single-node
+// Griffin engine: a corpus document-partitioned across N shards
+// (workload.PartitionIndex), one core.Engine plus its own simulated
+// device per shard replica, and scatter-gather query execution — fan out
+// to every shard concurrently, merge the per-shard top-k lists into the
+// global top-k, and report a critical-path latency model (cluster latency
+// = max over shard latencies + merge cost under the calibrated CPU
+// model).
+//
+// The paper evaluates one CPU+GPU node; its §5 discussion rejects
+// caching the whole corpus on one device precisely because device memory
+// cannot hold it. Partitioning the documents across devices is the step
+// that scales the reproduction past one node's memory while reusing every
+// existing layer: each shard runs the unchanged plan-builder/executor
+// pipeline on its own gpu.DeviceRuntime, replica routing reuses the
+// runtime's backlog signal (the same sched.DeviceBacklog view the
+// load-aware spill policy consults), and merge selection reuses the
+// engine's rank.Beats total order — which is what makes an N-shard
+// scatter-gather result bit-identical to a single-engine run over the
+// unpartitioned corpus.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"griffin/internal/core"
+	"griffin/internal/gpu"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/kernels"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Replicas is the number of engine replicas per shard (0 = 1). Each
+	// replica has its own simulated device and runtime; the router
+	// spreads queries across them.
+	Replicas int
+	// Routing picks the replica for each shard of a query (default
+	// RoundRobin).
+	Routing Routing
+	// Engine is the per-replica engine template. Device and Runtime are
+	// ignored: every replica gets a private device (its own DeviceModel
+	// instance) and builds its own runtime from Engine.Streams, because a
+	// shard *is* a device in this layer. Engine.TopK is overridden by
+	// TopK so shard selections cover the cluster result size.
+	Engine core.Config
+	// TopK is the cluster result count (0 = 10).
+	TopK int
+	// ShardTimeout bounds each shard's simulated latency. A shard whose
+	// response would land past the budget is dropped: the query degrades
+	// (Stats.Degraded, Stats.Missing) instead of failing, and the cluster
+	// latency charges the full timeout for having waited. Zero disables
+	// timeouts.
+	ShardTimeout time.Duration
+	// CPU prices the gather-side merge (zero value = hwmodel.DefaultCPU()).
+	CPU hwmodel.CPUModel
+	// DeviceModel builds each replica's private simulated device (zero
+	// value = hwmodel.DefaultGPU()).
+	DeviceModel hwmodel.GPUModel
+}
+
+// Cluster serves queries over document-partitioned shards.
+type Cluster struct {
+	cfg    Config
+	shards []*shardGroup
+}
+
+// New builds a cluster over one index per shard (typically the output of
+// workload.PartitionIndex; a single unpartitioned index gives a
+// one-shard cluster). Engines and devices are created per replica.
+func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
+	if len(ixs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard indexes")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.CPU == (hwmodel.CPUModel{}) {
+		cfg.CPU = hwmodel.DefaultCPU()
+	}
+	if cfg.DeviceModel == (hwmodel.GPUModel{}) {
+		cfg.DeviceModel = hwmodel.DefaultGPU()
+	}
+	c := &Cluster{cfg: cfg}
+	for s, ix := range ixs {
+		g := &shardGroup{id: s}
+		for r := 0; r < cfg.Replicas; r++ {
+			ecfg := cfg.Engine
+			ecfg.TopK = cfg.TopK
+			ecfg.Runtime = nil
+			ecfg.Device = nil
+			if ecfg.Mode != core.CPUOnly {
+				ecfg.Device = gpu.New(cfg.DeviceModel, 0)
+			}
+			eng, err := core.New(ix, ecfg)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", s, r, err)
+			}
+			g.replicas = append(g.replicas, &replica{engine: eng})
+		}
+		c.shards = append(c.shards, g)
+	}
+	return c, nil
+}
+
+// Close releases every replica engine's device resources.
+func (c *Cluster) Close() {
+	for _, g := range c.shards {
+		for _, r := range g.replicas {
+			r.engine.Close()
+		}
+	}
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Replicas returns the per-shard replica count.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// TopK returns the cluster result count.
+func (c *Cluster) TopK() int { return c.cfg.TopK }
+
+// Mode returns the replica engines' placement mode.
+func (c *Cluster) Mode() core.Mode { return c.cfg.Engine.Mode }
+
+// Routing returns the replica routing policy.
+func (c *Cluster) RoutingPolicy() Routing { return c.cfg.Routing }
+
+// NumDocs returns the corpus size (shard indexes carry the global count).
+func (c *Cluster) NumDocs() int {
+	return c.shards[0].replicas[0].engine.Index().NumDocs
+}
+
+// ShardStats records one shard's contribution to a query.
+type ShardStats struct {
+	// Shard and Replica identify the engine that served the sub-query.
+	Shard   int
+	Replica int
+	// TimedOut marks a shard dropped for exceeding ShardTimeout; Err a
+	// shard whose engine failed. Either way the shard is missing from the
+	// merged result.
+	TimedOut bool
+	Err      string
+	// Query is the shard engine's execution record (zero when Err is set).
+	Query core.QueryStats
+}
+
+// Stats aggregates one cluster query.
+type Stats struct {
+	// Latency is the cluster critical path: the slowest shard the query
+	// waited for (timed-out shards charge the full ShardTimeout) plus the
+	// gather-side merge.
+	Latency time.Duration
+	// MaxShard is the pre-merge critical path; MergeTime the modeled
+	// merge cost.
+	MaxShard  time.Duration
+	MergeTime time.Duration
+	// Degraded reports a partial result; Missing lists the shards whose
+	// documents the result may be missing.
+	Degraded bool
+	Missing  []int
+	// Shards has one record per shard, in shard order.
+	Shards []ShardStats
+}
+
+// Result is a completed cluster query.
+type Result struct {
+	// Docs are the merged top-k, descending by score, ties by ascending
+	// docID (the engine's rank.Beats order). Non-nil whenever the query
+	// executed.
+	Docs []kernels.ScoredDoc
+	// Stats is the scatter-gather execution record.
+	Stats Stats
+}
+
+// Search scatter-gathers one conjunctive query: one replica per shard is
+// chosen by the routing policy, all shards execute concurrently, and the
+// per-shard top-k lists merge into the global top-k. Shards that error or
+// exceed ShardTimeout degrade the result rather than failing it; an error
+// is returned only when every shard failed.
+func (c *Cluster) Search(terms []string) (*Result, error) {
+	return c.search(terms, 0, false)
+}
+
+// SearchAt runs one cluster query arriving at an explicit simulated time
+// on every shard runtime's global timeline — the load-study entry point,
+// mirroring core.Engine.SearchAt. Backlog earlier arrivals left on a
+// shard's device delays this query's sub-query there, so the returned
+// latency is the arrival-to-completion sojourn of the slowest shard plus
+// merge.
+func (c *Cluster) SearchAt(terms []string, arrival time.Duration) (*Result, error) {
+	return c.search(terms, arrival, true)
+}
+
+type shardOutcome struct {
+	replica int
+	res     *core.Result
+	err     error
+}
+
+func (c *Cluster) search(terms []string, arrival time.Duration, timed bool) (*Result, error) {
+	outs := make([]shardOutcome, len(c.shards))
+	var wg sync.WaitGroup
+	for s, g := range c.shards {
+		ri, rep := g.pick(c.cfg.Routing)
+		outs[s].replica = ri
+		wg.Add(1)
+		go func(s int, rep *replica) {
+			defer wg.Done()
+			outs[s].res, outs[s].err = rep.search(terms, arrival, timed)
+		}(s, rep)
+	}
+	wg.Wait()
+
+	st := Stats{Shards: make([]ShardStats, len(c.shards))}
+	parts := make([][]kernels.ScoredDoc, 0, len(c.shards))
+	failures := 0
+	for s, out := range outs {
+		ss := ShardStats{Shard: s, Replica: out.replica}
+		switch {
+		case out.err != nil:
+			ss.Err = out.err.Error()
+			st.Degraded = true
+			st.Missing = append(st.Missing, s)
+			failures++
+		case c.cfg.ShardTimeout > 0 && out.res.Stats.Latency > c.cfg.ShardTimeout:
+			// The gather waited the full budget before giving up on the
+			// shard: the critical path charges the timeout, the shard's
+			// documents go missing from the merged result.
+			ss.TimedOut = true
+			ss.Query = out.res.Stats
+			st.Degraded = true
+			st.Missing = append(st.Missing, s)
+			if c.cfg.ShardTimeout > st.MaxShard {
+				st.MaxShard = c.cfg.ShardTimeout
+			}
+		default:
+			ss.Query = out.res.Stats
+			parts = append(parts, out.res.Docs)
+			if out.res.Stats.Latency > st.MaxShard {
+				st.MaxShard = out.res.Stats.Latency
+			}
+		}
+		st.Shards[s] = ss
+	}
+	if failures == len(c.shards) {
+		return nil, fmt.Errorf("cluster: all %d shards failed: %s", failures, st.Shards[0].Err)
+	}
+
+	docs, work := MergeTopK(parts, c.cfg.TopK)
+	st.MergeTime = c.cfg.CPU.Time(work)
+	st.Latency = st.MaxShard + st.MergeTime
+	if docs == nil {
+		docs = []kernels.ScoredDoc{}
+	}
+	return &Result{Docs: docs, Stats: st}, nil
+}
+
+// ShardTelemetry is one replica engine's live state, the /statz surface.
+type ShardTelemetry struct {
+	Shard   int
+	Replica int
+	// Queries counts sub-queries this replica served.
+	Queries int64
+	// Device is the replica's device-runtime snapshot (nil for CPU-only
+	// engines).
+	Device *gpu.RuntimeStats
+	// Cache is the replica's resident-list cache counters.
+	Cache core.CacheStats
+}
+
+// Telemetry snapshots every replica, shard-major.
+func (c *Cluster) Telemetry() []ShardTelemetry {
+	out := make([]ShardTelemetry, 0, len(c.shards)*c.cfg.Replicas)
+	for _, g := range c.shards {
+		for ri, rep := range g.replicas {
+			t := ShardTelemetry{
+				Shard:   g.id,
+				Replica: ri,
+				Queries: rep.served.Load(),
+				Cache:   rep.engine.CacheStats(),
+			}
+			if rt := rep.engine.Runtime(); rt != nil {
+				st := rt.Stats()
+				t.Device = &st
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+
+	"griffin/internal/core"
+	"griffin/internal/sched"
+)
+
+// Routing selects how a shard group picks the replica for one sub-query.
+type Routing int
+
+const (
+	// RoundRobin rotates through the replicas — the oblivious baseline.
+	RoundRobin Routing = iota
+	// LeastPending routes to the replica whose device reports the
+	// smallest compute backlog — the same sched.DeviceBacklog signal the
+	// engine's load-aware spill policy consults, reused one level up:
+	// instead of spilling an intersection from a busy device to the CPU,
+	// the router steers the whole sub-query to a less busy device.
+	// In-flight sub-query counts break ties (and stand in for the signal
+	// entirely on CPU-only replicas, which have no device runtime).
+	LeastPending
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	if r == LeastPending {
+		return "least-pending"
+	}
+	return "round-robin"
+}
+
+// replica is one engine serving a shard.
+type replica struct {
+	engine   *core.Engine
+	inflight atomic.Int64
+	served   atomic.Int64
+}
+
+// backlog returns the replica's routing signal: the device's pending
+// compute time (sched.DeviceBacklog), or zero for CPU-only replicas.
+func (r *replica) backlog() time.Duration {
+	var b sched.DeviceBacklog
+	if rt := r.engine.Runtime(); rt != nil {
+		b = rt
+	}
+	if b == nil {
+		return 0
+	}
+	return b.PendingTime()
+}
+
+// search runs one sub-query, tracking in-flight and served counters for
+// the router and telemetry.
+func (r *replica) search(terms []string, arrival time.Duration, timed bool) (*core.Result, error) {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	r.served.Add(1)
+	if timed {
+		return r.engine.SearchAt(terms, arrival)
+	}
+	return r.engine.Search(terms)
+}
+
+// shardGroup is one shard's replica set.
+type shardGroup struct {
+	id       int
+	rr       atomic.Int64
+	replicas []*replica
+}
+
+// pick selects a replica under the routing policy, returning its index
+// and the replica.
+func (g *shardGroup) pick(routing Routing) (int, *replica) {
+	if len(g.replicas) == 1 {
+		return 0, g.replicas[0]
+	}
+	if routing == LeastPending {
+		best := 0
+		bestBacklog := g.replicas[0].backlog()
+		bestInflight := g.replicas[0].inflight.Load()
+		for i := 1; i < len(g.replicas); i++ {
+			b := g.replicas[i].backlog()
+			fl := g.replicas[i].inflight.Load()
+			if b < bestBacklog || (b == bestBacklog && fl < bestInflight) {
+				best, bestBacklog, bestInflight = i, b, fl
+			}
+		}
+		return best, g.replicas[best]
+	}
+	i := int((g.rr.Add(1) - 1) % int64(len(g.replicas)))
+	return i, g.replicas[i]
+}

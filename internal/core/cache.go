@@ -27,6 +27,13 @@ type listCache struct {
 	used     int64
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
+
+	// hits/misses/evictions are lifetime counters (served by /statz):
+	// a hit is a get that skipped the PCIe upload, a miss a get that will
+	// pay it, an eviction one entry displaced by capacity pressure.
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -52,8 +59,10 @@ func (c *listCache) get(term string) (*gpu.Buffer, func(), bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[term]
 	if !ok {
+		c.misses++
 		return nil, nil, false
 	}
+	c.hits++
 	c.order.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	e.refs++
@@ -95,6 +104,7 @@ func (c *listCache) put(term string, buf *gpu.Buffer) (func(), bool) {
 		c.used -= victim.buf.Bytes
 		delete(c.entries, victim.term)
 		c.order.Remove(back)
+		c.evictions++
 		if victim.refs > 0 {
 			victim.dead = true // freed on last release
 		} else {
@@ -130,4 +140,30 @@ func (c *listCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// stats returns a snapshot of the cache counters.
+func (c *listCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Lists:     len(c.entries),
+		Bytes:     c.used,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// CacheStats is a telemetry snapshot of the device-resident list cache.
+type CacheStats struct {
+	// Lists and Bytes are the current residency.
+	Lists int
+	Bytes int64
+	// Hits, Misses, and Evictions are lifetime counters: hits skipped a
+	// PCIe upload, misses paid one, evictions displaced an entry under
+	// capacity pressure.
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }

@@ -394,3 +394,122 @@ func TestEngineConcurrentSearches(t *testing.T) {
 		}
 	}
 }
+
+func TestListCacheCounters(t *testing.T) {
+	dev := newCacheDevice()
+	c := newListCache(200)
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	rel, _ := c.put("a", allocBuf(t, dev, 100))
+	rel()
+	if _, rel, ok := c.get("a"); ok {
+		rel()
+	} else {
+		t.Fatal("get a failed")
+	}
+	// Two more puts overflow capacity: one eviction.
+	rel, _ = c.put("b", allocBuf(t, dev, 100))
+	rel()
+	rel, _ = c.put("c", allocBuf(t, dev, 100))
+	rel()
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("counters hits/misses/evictions = %d/%d/%d, want 1/1/1",
+			st.Hits, st.Misses, st.Evictions)
+	}
+	if st.Lists != 2 || st.Bytes != 200 {
+		t.Fatalf("residency = %d lists / %d bytes, want 2/200", st.Lists, st.Bytes)
+	}
+}
+
+func TestEngineCacheStatsSurface(t *testing.T) {
+	c, err := workload.GenerateCorpus(workload.CorpusSpec{
+		NumDocs:    500_000,
+		NumTerms:   20,
+		MaxListLen: 100_000,
+		MinListLen: 10_000,
+		Alpha:      0.7,
+		Seed:       31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := newCacheDevice()
+	e, err := New(c.Index, Config{Mode: Hybrid, Device: dev, CacheLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	q := []string{workload.TermName(2), workload.TermName(5)}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.CacheStats()
+	if st.Lists == 0 || st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected populated counters after repeat query, got %+v", st)
+	}
+	cpu, err := New(c.Index, Config{Mode: CPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpu.Close()
+	if got := cpu.CacheStats(); got != (CacheStats{}) {
+		t.Fatalf("cacheless engine reported %+v", got)
+	}
+}
+
+// TestListCacheEvictWhileReferencedRace hammers the dead-entry
+// free-on-last-release path from many goroutines (run under -race in CI):
+// a capacity-1-entry cache guarantees every put evicts the previous
+// entry, usually while other goroutines still hold references to it, so
+// victims constantly transit the dead state and must be freed exactly
+// once, on the last release.
+func TestListCacheEvictWhileReferencedRace(t *testing.T) {
+	dev := newCacheDevice()
+	c := newListCache(100) // one 100-byte entry fits: every put evicts
+	keys := []string{"a", "b", "c", "d"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := keys[(g+i)%len(keys)]
+				if buf, rel, ok := c.get(k); ok {
+					if buf.Bytes != 100 {
+						t.Errorf("corrupt buffer for %q: %d bytes", k, buf.Bytes)
+					}
+					rel()
+					continue
+				}
+				b, err := dev.NewStream().Alloc(100)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rel, ok := c.put(k, b); ok {
+					rel()
+				} else {
+					b.Free()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesced: exactly the resident entries' bytes remain allocated —
+	// every dead victim was freed on its last release, none twice (a
+	// double free would corrupt the device's allocation accounting).
+	st := c.stats()
+	if got := dev.Allocated(); got != st.Bytes {
+		t.Fatalf("device allocated %d bytes, cache holds %d: leaked or double-freed victims", got, st.Bytes)
+	}
+	c.drop()
+	if got := dev.Allocated(); got != 0 {
+		t.Fatalf("device allocated %d bytes after drop, want 0", got)
+	}
+}

@@ -179,6 +179,15 @@ func (e *Engine) CachedLists() int {
 	return e.cache.len()
 }
 
+// CacheStats returns the list cache's telemetry counters (zero value for
+// engines without CacheLists).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
 // Warmup preloads the given terms' compressed posting lists into the
 // device cache (no-op without CacheLists), so a service can pay the PCIe
 // uploads for its hottest terms before taking traffic. It returns the

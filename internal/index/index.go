@@ -47,10 +47,27 @@ type PostingList struct {
 	Freqs *FreqStore
 	// Skips are the per-block skip pointers.
 	Skips []SkipPointer
+	// GlobalN overrides N as the document frequency used for BM25 scoring
+	// (0 = use N). A document-partitioned shard index sets it to the
+	// term's collection-wide frequency so per-shard scores are
+	// bit-identical to scoring against the unpartitioned index; every
+	// structural use of the list (intersection, cost estimation) keeps
+	// seeing the shard-local N.
+	GlobalN int
 }
 
 // Len returns the posting count.
 func (p *PostingList) Len() int { return p.N }
+
+// ScoringN returns the document frequency BM25 should use: the
+// collection-wide GlobalN when set (shard of a partitioned index), the
+// list's own N otherwise.
+func (p *PostingList) ScoringN() int {
+	if p.GlobalN > 0 {
+		return p.GlobalN
+	}
+	return p.N
+}
 
 // DocIDs decompresses and returns all docIDs (test/diagnostic path).
 func (p *PostingList) DocIDs() []uint32 { return p.EF.Decompress() }

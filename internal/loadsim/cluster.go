@@ -1,0 +1,71 @@
+package loadsim
+
+import (
+	"math/rand"
+	"time"
+
+	"griffin/internal/cluster"
+	"griffin/internal/stats"
+)
+
+// ClusterResult extends Result with cluster-level outcomes.
+type ClusterResult struct {
+	Result
+	// Degraded counts queries answered partially (shards timed out or
+	// errored).
+	Degraded int
+	// MaxShardMean and MergeMean decompose the mean latency into the
+	// critical-path shard and the gather-side merge, verifying the
+	// cluster's latency model under load: Latency = MaxShard + Merge for
+	// every query, so the means decompose the same way.
+	MaxShardMean time.Duration
+	MergeMean    time.Duration
+}
+
+// RunCluster drives a sharded cluster under Poisson load, the cluster
+// analogue of RunEngine: each query is admitted at its generated arrival
+// time on every shard replica's device timeline (cluster.SearchAt), so a
+// shard whose device still carries backlog from earlier arrivals delays
+// the queries routed to it — and, through the max-over-shards critical
+// path, the whole cluster response. Sequential wall-clock execution in
+// arrival order remains a faithful discrete-event evaluation because
+// every replica runtime's engine queue serves FCFS.
+//
+// The cluster should be dedicated to the run. Latencies are sojourn
+// times of the cluster critical path: slowest awaited shard plus merge.
+func RunCluster(cl *cluster.Cluster, queries [][]string, spec Spec) (ClusterResult, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	res := ClusterResult{Result: Result{Latencies: stats.NewLatencyRecorder(len(queries))}}
+	if len(queries) == 0 || spec.ArrivalRate <= 0 {
+		return res, nil
+	}
+	var t time.Duration
+	var maxShardSum, mergeSum time.Duration
+	for _, q := range queries {
+		t += time.Duration(rng.ExpFloat64() / spec.ArrivalRate * float64(time.Second))
+		r, err := cl.SearchAt(q, t)
+		if err != nil {
+			return res, err
+		}
+		res.Latencies.Record(r.Stats.Latency)
+		maxShardSum += r.Stats.MaxShard
+		mergeSum += r.Stats.MergeTime
+		if r.Stats.Degraded {
+			res.Degraded++
+		}
+		if end := t + r.Stats.Latency; end > res.Makespan {
+			res.Makespan = end
+		}
+	}
+	res.MaxShardMean = maxShardSum / time.Duration(len(queries))
+	res.MergeMean = mergeSum / time.Duration(len(queries))
+
+	// GPUBusy reports the busiest replica device: in a scatter-gather
+	// tier the hottest shard bounds throughput.
+	for _, row := range cl.Telemetry() {
+		if row.Device != nil && row.Device.Utilization > res.GPUBusy {
+			res.GPUBusy = row.Device.Utilization
+		}
+	}
+	return res, nil
+}

@@ -87,7 +87,7 @@ func (s *Scorer) ScoreCandidates(lists []*index.PostingList, candidates []uint32
 		for _, pl := range lists {
 			tf, _, ok := pl.FreqForDoc(d)
 			if ok {
-				score += s.ScoreTerm(pl.N, tf, s.ix.DocLen(d))
+				score += s.ScoreTerm(pl.ScoringN(), tf, s.ix.DocLen(d))
 			}
 		}
 		work.ScoredDocs += int64(len(lists))
@@ -96,12 +96,25 @@ func (s *Scorer) ScoreCandidates(lists []*index.PostingList, candidates []uint32
 	return out, work
 }
 
-// docHeap is a bounded min-heap on score: the root is the weakest of the
-// current top-k, evicted when a stronger candidate arrives.
+// Beats reports whether a ranks strictly ahead of b in result order:
+// higher score first, ties broken by ascending docID. The tie-break makes
+// top-k selection a *total* order, so the selected set and its output
+// order are functions of the candidate set alone — the property the
+// cluster layer's scatter-gather merge relies on to reproduce a
+// single-engine run bit for bit from per-shard top-k lists.
+func Beats(a, b kernels.ScoredDoc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// docHeap is a bounded min-heap on result order: the root is the weakest
+// of the current top-k, evicted when a stronger candidate arrives.
 type docHeap []kernels.ScoredDoc
 
 func (h docHeap) Len() int           { return len(h) }
-func (h docHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h docHeap) Less(i, j int) bool { return Beats(h[j], h[i]) }
 func (h docHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *docHeap) Push(x any)        { *h = append(*h, x.(kernels.ScoredDoc)) }
 func (h *docHeap) Pop() any {
@@ -115,7 +128,8 @@ func (h *docHeap) Pop() any {
 // TopKCPU selects the k highest-scoring docs with a bounded heap — the
 // "CPU partial_sort" contender of Figure 7 and the selector Griffin
 // adopts (small result sets cannot amortize GPU launch overheads).
-// Results are in descending score order.
+// Results are in descending score order, score ties in ascending docID
+// order (the Beats total order).
 func TopKCPU(docs []kernels.ScoredDoc, k int) ([]kernels.ScoredDoc, hwmodel.CPUWork) {
 	var work hwmodel.CPUWork
 	if k <= 0 || len(docs) == 0 {
@@ -126,7 +140,7 @@ func TopKCPU(docs []kernels.ScoredDoc, k int) ([]kernels.ScoredDoc, hwmodel.CPUW
 		work.HeapCandidates++
 		if len(h) < k {
 			heap.Push(&h, d)
-		} else if d.Score > h[0].Score {
+		} else if Beats(d, h[0]) {
 			h[0] = d
 			heap.Fix(&h, 0)
 		}

@@ -1,9 +1,11 @@
-// Package server exposes a Griffin engine as a small JSON-over-HTTP
-// search service — the deployment surface an interactive IR system (the
-// paper's motivating setting) actually presents to clients. Handlers are
-// safe for concurrent requests; each request maps to one Engine.Search,
-// so the per-request simulated latency reported in responses is the
-// paper's per-query metric.
+// Package server exposes a Griffin engine — or a sharded cluster of them
+// — as a small JSON-over-HTTP search service, the deployment surface an
+// interactive IR system (the paper's motivating setting) actually
+// presents to clients. Handlers are safe for concurrent requests; each
+// request maps to one Engine.Search or Cluster.Search, so the per-request
+// simulated latency reported in responses is the paper's per-query metric
+// (single node) or the cluster's critical-path model (max over shards +
+// merge).
 package server
 
 import (
@@ -14,27 +16,43 @@ import (
 	"sync/atomic"
 	"time"
 
+	"griffin/internal/cluster"
 	"griffin/internal/core"
 	"griffin/internal/index"
 )
 
-// Server routes search traffic to an engine.
+// Server routes search traffic to an engine or a cluster.
 type Server struct {
-	engine *core.Engine
-	mux    *http.ServeMux
+	engine  *core.Engine      // single-node backend (nil in cluster mode)
+	cluster *cluster.Cluster  // sharded backend (nil in single-node mode)
+	mux     *http.ServeMux
 
 	queries  atomic.Int64
 	errors   atomic.Int64
+	degraded atomic.Int64
 	simNanos atomic.Int64
 }
 
-// New wraps an engine. The engine must outlive the server.
+// New wraps a single engine. The engine must outlive the server.
 func New(engine *core.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s := &Server{engine: engine}
+	s.init()
+	return s
+}
+
+// NewCluster wraps a sharded cluster. The cluster must outlive the
+// server.
+func NewCluster(cl *cluster.Cluster) *Server {
+	s := &Server{cluster: cl}
+	s.init()
+	return s
+}
+
+func (s *Server) init() {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
-	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -49,9 +67,17 @@ type SearchResponse struct {
 	LatencyMS  float64   `json:"simulated_latency_ms"`
 	Migrated   bool      `json:"migrated"`
 	Results    []HitJSON `json:"results"`
+	// Degraded and MissingShards report partial cluster results: shards
+	// that errored or exceeded the shard timeout are listed rather than
+	// failing the query.
+	Degraded      bool  `json:"degraded,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 	// Plan is the executed physical query plan, present when the request
-	// set trace=1.
+	// set trace=1 on a single-engine server.
 	Plan []PlanOpJSON `json:"plan,omitempty"`
+	// Shards is the per-shard execution summary, present when the request
+	// set trace=1 on a cluster server.
+	Shards []ShardTraceJSON `json:"shards,omitempty"`
 }
 
 // PlanOpJSON is one executed plan operator of a traced request.
@@ -67,6 +93,19 @@ type PlanOpJSON struct {
 	EstTookUS float64 `json:"est_took_us"`
 }
 
+// ShardTraceJSON summarizes one shard's contribution to a traced cluster
+// request.
+type ShardTraceJSON struct {
+	Shard      int     `json:"shard"`
+	Replica    int     `json:"replica"`
+	LatencyMS  float64 `json:"simulated_latency_ms"`
+	Candidates int     `json:"candidates"`
+	GPUWaitMS  float64 `json:"gpu_wait_ms"`
+	Migrated   bool    `json:"migrated"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
 // HitJSON is one ranked result.
 type HitJSON struct {
 	DocID uint32  `json:"doc_id"`
@@ -74,8 +113,8 @@ type HitJSON struct {
 }
 
 // handleSearch serves GET /search?q=terms+separated+by+spaces[&k=10][&trace=1].
-// With trace=1 the response includes the executed physical query plan,
-// one record per operator.
+// With trace=1 the response includes the executed physical query plan
+// (single engine) or the per-shard execution summary (cluster).
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
@@ -95,6 +134,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k = v
+	}
+	trace := r.URL.Query().Get("trace") == "1"
+
+	if s.cluster != nil {
+		s.searchCluster(w, terms, k, trace)
+		return
 	}
 
 	res, err := s.engine.Search(terms)
@@ -120,7 +165,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i, h := range hits {
 		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
 	}
-	if r.URL.Query().Get("trace") == "1" {
+	if trace {
 		resp.Plan = make([]PlanOpJSON, len(res.Stats.Plan))
 		for i, op := range res.Stats.Plan {
 			resp.Plan[i] = PlanOpJSON{
@@ -139,8 +184,74 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// searchCluster serves one scatter-gather request.
+func (s *Server) searchCluster(w http.ResponseWriter, terms []string, k int, trace bool) {
+	res, err := s.cluster.Search(terms)
+	if err != nil {
+		s.errors.Add(1)
+		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.queries.Add(1)
+	s.simNanos.Add(int64(res.Stats.Latency))
+	if res.Stats.Degraded {
+		s.degraded.Add(1)
+	}
+
+	hits := res.Docs
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	candidates := 0
+	migrated := false
+	for _, ss := range res.Stats.Shards {
+		candidates += ss.Query.Candidates
+		migrated = migrated || ss.Query.Migrated
+	}
+	resp := SearchResponse{
+		Query:         terms,
+		Candidates:    candidates,
+		LatencyMS:     float64(res.Stats.Latency) / float64(time.Millisecond),
+		Migrated:      migrated,
+		Results:       make([]HitJSON, len(hits)),
+		Degraded:      res.Stats.Degraded,
+		MissingShards: res.Stats.Missing,
+	}
+	for i, h := range hits {
+		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
+	}
+	if trace {
+		resp.Shards = make([]ShardTraceJSON, len(res.Stats.Shards))
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		for i, ss := range res.Stats.Shards {
+			resp.Shards[i] = ShardTraceJSON{
+				Shard:      ss.Shard,
+				Replica:    ss.Replica,
+				LatencyMS:  ms(ss.Query.Latency),
+				Candidates: ss.Query.Candidates,
+				GPUWaitMS:  ms(ss.Query.GPUWait),
+				Migrated:   ss.Query.Migrated,
+				TimedOut:   ss.TimedOut,
+				Error:      ss.Err,
+			}
+		}
+	}
+	writeJSON(w, resp)
+}
+
 // handleHealth serves GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		writeJSON(w, map[string]any{
+			"status":   "ok",
+			"docs":     s.cluster.NumDocs(),
+			"mode":     s.cluster.Mode().String(),
+			"shards":   s.cluster.NumShards(),
+			"replicas": s.cluster.Replicas(),
+			"routing":  s.cluster.RoutingPolicy().String(),
+		})
+		return
+	}
 	writeJSON(w, map[string]any{
 		"status": "ok",
 		"docs":   s.engine.Index().NumDocs,
@@ -155,14 +266,31 @@ type StatsResponse struct {
 	Errors        int64   `json:"errors"`
 	MeanLatencyMS float64 `json:"mean_simulated_latency_ms"`
 	CachedLists   int     `json:"cached_lists"`
+	// Cache is the device-resident list cache's counter snapshot; omitted
+	// when caching is off (single-engine servers aggregate one engine,
+	// cluster servers aggregate across every replica).
+	Cache *CacheStatsJSON `json:"cache,omitempty"`
 	// Device is the shared device runtime's telemetry; omitted for
-	// CPU-only engines.
+	// CPU-only engines and for cluster servers (see Shards).
 	Device *DeviceStatsJSON `json:"device,omitempty"`
+	// Degraded counts cluster queries answered partially; Shards carries
+	// one telemetry row per shard replica. Both are cluster-mode only.
+	Degraded int64            `json:"degraded_queries,omitempty"`
+	Shards   []ShardStatsJSON `json:"shards,omitempty"`
 }
 
-// DeviceStatsJSON reports the engine's device-runtime state: how busy
-// the modeled GPU has been, how much queueing delay concurrent queries
-// paid for it, and the backlog a query admitted now would face.
+// CacheStatsJSON reports the resident-list cache counters.
+type CacheStatsJSON struct {
+	Lists     int   `json:"lists"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// DeviceStatsJSON reports one device runtime's state: how busy the
+// modeled GPU has been, how much queueing delay concurrent queries paid
+// for it, and the backlog a query admitted now would face.
 type DeviceStatsJSON struct {
 	Streams        int     `json:"streams"`
 	ActiveQueries  int     `json:"active_queries"`
@@ -173,6 +301,25 @@ type DeviceStatsJSON struct {
 	QueueWaitMS    float64 `json:"queue_wait_ms"`
 	BacklogMS      float64 `json:"backlog_ms"`
 	TimelineSpanMS float64 `json:"timeline_span_ms"`
+}
+
+// ShardStatsJSON is one shard replica's telemetry row.
+type ShardStatsJSON struct {
+	Shard   int              `json:"shard"`
+	Replica int              `json:"replica"`
+	Queries int64            `json:"queries"`
+	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
+	Device  *DeviceStatsJSON `json:"device,omitempty"`
+}
+
+func cacheJSON(st core.CacheStats) *CacheStatsJSON {
+	return &CacheStatsJSON{
+		Lists:     st.Lists,
+		Bytes:     st.Bytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+	}
 }
 
 // handleStats serves GET /statz.
@@ -186,11 +333,53 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:       n,
 		Errors:        s.errors.Load(),
 		MeanLatencyMS: mean,
-		CachedLists:   s.engine.CachedLists(),
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	if s.cluster != nil {
+		resp.Degraded = s.degraded.Load()
+		agg := core.CacheStats{}
+		caching := false
+		for _, row := range s.cluster.Telemetry() {
+			sr := ShardStatsJSON{Shard: row.Shard, Replica: row.Replica, Queries: row.Queries}
+			if row.Cache != (core.CacheStats{}) {
+				caching = true
+				sr.Cache = cacheJSON(row.Cache)
+				agg.Lists += row.Cache.Lists
+				agg.Bytes += row.Cache.Bytes
+				agg.Hits += row.Cache.Hits
+				agg.Misses += row.Cache.Misses
+				agg.Evictions += row.Cache.Evictions
+			}
+			if row.Device != nil {
+				sr.Device = &DeviceStatsJSON{
+					Streams:        row.Device.Streams,
+					ActiveQueries:  row.Device.Active,
+					Admitted:       row.Device.Admitted,
+					Utilization:    row.Device.Utilization,
+					ComputeBusyMS:  ms(row.Device.ComputeBusy),
+					CopyBusyMS:     ms(row.Device.CopyBusy),
+					QueueWaitMS:    ms(row.Device.Waited),
+					BacklogMS:      ms(row.Device.Backlog),
+					TimelineSpanMS: ms(row.Device.Horizon),
+				}
+			}
+			resp.Shards = append(resp.Shards, sr)
+		}
+		resp.CachedLists = agg.Lists
+		if caching {
+			resp.Cache = cacheJSON(agg)
+		}
+		writeJSON(w, resp)
+		return
+	}
+
+	resp.CachedLists = s.engine.CachedLists()
+	if st := s.engine.CacheStats(); st != (core.CacheStats{}) {
+		resp.Cache = cacheJSON(st)
 	}
 	if rt := s.engine.Runtime(); rt != nil {
 		st := rt.Stats()
-		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		resp.Device = &DeviceStatsJSON{
 			Streams:        st.Streams,
 			ActiveQueries:  st.Active,

@@ -6,14 +6,17 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
+	"griffin/internal/cluster"
 	"griffin/internal/core"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
+	"griffin/internal/workload"
 )
 
-func newTestServer(t *testing.T) *Server {
+func testIndex(t *testing.T) *index.Index {
 	t.Helper()
 	b := index.NewBuilder(index.CodecEF)
 	docs := []string{
@@ -31,12 +34,37 @@ func newTestServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ix
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	ix := testIndex(t)
 	dev := gpu.New(hwmodel.DefaultGPU(), 0)
 	e, err := core.New(ix, core.Config{Mode: core.Hybrid, Device: dev})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return New(e)
+}
+
+func newTestClusterServer(t *testing.T, shards, replicas int, timeout time.Duration) *Server {
+	t.Helper()
+	ixs, err := workload.PartitionIndex(testIndex(t), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(ixs, cluster.Config{
+		Engine:       core.Config{Mode: core.Hybrid, CacheLists: true},
+		TopK:         10,
+		Replicas:     replicas,
+		ShardTimeout: timeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return NewCluster(cl)
 }
 
 func get(t *testing.T, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
@@ -271,5 +299,207 @@ func TestSearchTraceParameter(t *testing.T) {
 		if !kinds[want] {
 			t.Errorf("plan missing %q operator (got %v)", want, kinds)
 		}
+	}
+}
+
+// The cluster-backed server answers /search with the same documents as
+// the single-engine server over the unpartitioned corpus, and a healthy
+// query carries no degradation markers.
+func TestClusterSearchEndpoint(t *testing.T) {
+	single := newTestServer(t)
+	srv := newTestClusterServer(t, 2, 1, 0)
+
+	_, wantBody := get(t, single, "/search?q=quick+fox")
+	rec, body := get(t, srv, "/search?q=quick+fox")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var want, resp SearchResponse
+	if err := json.Unmarshal(wantBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || len(resp.MissingShards) != 0 {
+		t.Fatalf("healthy query degraded: %+v", resp)
+	}
+	if resp.Candidates != want.Candidates || len(resp.Results) != len(want.Results) {
+		t.Fatalf("cluster response %+v != single-engine %+v", resp, want)
+	}
+	for i := range want.Results {
+		if resp.Results[i] != want.Results[i] {
+			t.Fatalf("result[%d] = %+v != single-engine %+v", i, resp.Results[i], want.Results[i])
+		}
+	}
+	if resp.LatencyMS <= 0 {
+		t.Fatal("no simulated latency reported")
+	}
+}
+
+func TestClusterSearchTraceShards(t *testing.T) {
+	srv := newTestClusterServer(t, 2, 1, 0)
+	rec, body := get(t, srv, "/search?q=quick+fox&trace=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Shards) != 2 {
+		t.Fatalf("trace=1 returned %d shard records, want 2", len(resp.Shards))
+	}
+	for _, ss := range resp.Shards {
+		if ss.TimedOut || ss.Error != "" {
+			t.Fatalf("healthy shard marked degraded: %+v", ss)
+		}
+		if ss.LatencyMS <= 0 {
+			t.Fatalf("shard %d reports no latency", ss.Shard)
+		}
+	}
+	if len(resp.Plan) != 0 {
+		t.Fatalf("cluster trace carries a single-engine plan: %+v", resp.Plan)
+	}
+}
+
+func TestClusterSearchTimeoutDegrades(t *testing.T) {
+	srv := newTestClusterServer(t, 2, 1, time.Nanosecond)
+	rec, body := get(t, srv, "/search?q=quick+fox")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("1ns shard timeout did not degrade the response")
+	}
+	if len(resp.MissingShards) != 2 {
+		t.Fatalf("missing shards %v, want both", resp.MissingShards)
+	}
+	if len(resp.Results) != 0 {
+		t.Fatalf("fully degraded query returned results: %+v", resp.Results)
+	}
+
+	_, body = get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded != 1 {
+		t.Fatalf("degraded counter %d, want 1", st.Degraded)
+	}
+}
+
+func TestClusterHealthz(t *testing.T) {
+	srv := newTestClusterServer(t, 2, 2, 0)
+	rec, body := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health: %v", health)
+	}
+	if health["shards"] != float64(2) || health["replicas"] != float64(2) {
+		t.Fatalf("topology not reported: %v", health)
+	}
+	if health["docs"] != float64(4) {
+		t.Fatalf("cluster reports %v docs, want the global count 4", health["docs"])
+	}
+	if health["routing"] == "" || health["mode"] == "" {
+		t.Fatalf("routing/mode missing: %v", health)
+	}
+}
+
+// /statz on a cluster server carries one telemetry row per shard replica
+// with device and cache counters, plus the cluster-wide cache aggregate.
+func TestClusterStatsTelemetry(t *testing.T) {
+	srv := newTestClusterServer(t, 2, 2, 0)
+	for i := 0; i < 4; i++ {
+		get(t, srv, "/search?q=quick+fox")
+	}
+	_, body := get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 4 {
+		t.Fatalf("queries %d, want 4", st.Queries)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("%d telemetry rows, want 2 shards x 2 replicas = 4", len(st.Shards))
+	}
+	var served, admitted, hits, misses int64
+	for _, row := range st.Shards {
+		served += row.Queries
+		if row.Device == nil {
+			t.Fatalf("shard %d replica %d: hybrid replica missing device stats", row.Shard, row.Replica)
+		}
+		admitted += row.Device.Admitted
+		if row.Cache == nil {
+			t.Fatalf("shard %d replica %d: caching replica missing cache stats", row.Shard, row.Replica)
+		}
+		hits += row.Cache.Hits
+		misses += row.Cache.Misses
+	}
+	if served != 8 {
+		t.Fatalf("replicas served %d sub-queries, want 4 queries x 2 shards = 8", served)
+	}
+	if admitted == 0 {
+		t.Fatal("no replica admitted device work")
+	}
+	if st.Cache == nil {
+		t.Fatal("cluster cache aggregate missing")
+	}
+	if st.Cache.Hits != hits || st.Cache.Misses != misses {
+		t.Fatalf("aggregate cache %+v != sum of rows (hits %d, misses %d)", st.Cache, hits, misses)
+	}
+	if st.Cache.Misses == 0 {
+		t.Fatal("cache counters never moved")
+	}
+}
+
+// The single-engine /statz surfaces the list-cache counters when caching
+// is on and omits them when it is off.
+func TestStatsCacheCounters(t *testing.T) {
+	ix := testIndex(t)
+	e, err := core.New(ix, core.Config{
+		Mode: core.Hybrid, Device: gpu.New(hwmodel.DefaultGPU(), 0), CacheLists: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e)
+	get(t, srv, "/search?q=quick+fox")
+	get(t, srv, "/search?q=quick+fox")
+	_, body := get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache == nil {
+		t.Fatal("caching engine reports no cache counters")
+	}
+	if st.Cache.Misses == 0 {
+		t.Fatalf("cache misses never counted: %+v", st.Cache)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("repeated query did not hit the cache: %+v", st.Cache)
+	}
+
+	// The non-caching hybrid server omits the object.
+	_, body = get(t, newTestServer(t), "/statz")
+	st = StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache != nil {
+		t.Fatalf("non-caching engine reports cache counters: %+v", st.Cache)
 	}
 }
