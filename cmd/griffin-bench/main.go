@@ -28,7 +28,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1.0 = full)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
-	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache,cluster")
+	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache,cluster,chaos")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "also write all tables as one JSON document to this path")
 	flag.Parse()
@@ -163,6 +163,13 @@ func main() {
 	if run("cluster") {
 		fmt.Println("partitioning the cluster corpus and sweeping shard counts...")
 		_, tc, err := experiments.RunShardSweep(cfg)
+		exitOn(err)
+		emit(tc)
+	}
+
+	if run("chaos") {
+		fmt.Println("injecting faults and sweeping fault rates (hardened vs brittle)...")
+		_, tc, err := experiments.RunChaosSweep(cfg)
 		exitOn(err)
 		emit(tc)
 	}

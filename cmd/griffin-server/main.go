@@ -6,11 +6,20 @@
 //
 //	griffin-server -index index.grif -addr :8080 -mode griffin -cache
 //	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
+//	griffin-server -index index.grif -shards 4 -replicas 2 -chaos-rate 0.05 -hedge-delay 2ms
 //
 // With -shards N > 1 the loaded index is document-partitioned into N
 // shards (global BM25 statistics preserved, so results are identical to
 // single-node serving), each shard runs -replicas engines with private
 // simulated devices, and every query scatter-gathers across the shards.
+//
+// Cluster serving self-heals: failed sub-queries retry on sibling
+// replicas, device faults fall back to CPU-only plans, per-replica
+// circuit breakers shed misbehaving replicas, and -hedge-delay hedges
+// slow shards onto a sibling. -chaos-rate injects seeded faults to
+// exercise all of it; /healthz reflects breaker-level degradation and
+// /statz carries the self-healing counters and fault log (see
+// docs/robustness.md).
 //
 // Endpoints:
 //
@@ -36,6 +45,7 @@ import (
 
 	"griffin/internal/cluster"
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
@@ -53,6 +63,12 @@ func main() {
 	replicas := flag.Int("replicas", 1, "engine replicas per shard (cluster mode)")
 	routingName := flag.String("routing", "rr", "replica routing: rr or least-pending (cluster mode)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard latency budget; slower shards degrade the result (0 = none)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "dispatch a hedged sub-query to a sibling replica after this delay (cluster mode, 0 = off)")
+	retries := flag.Int("retries", 0, "sibling retries per failed sub-query (cluster mode; 0 = one retry when replicated, -1 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures tripping a replica's circuit breaker (cluster mode; 0 = default 3, -1 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before half-open probes (cluster mode, 0 = default)")
+	chaosRate := flag.Float64("chaos-rate", 0, "inject seeded faults at this base rate (cluster mode, 0 = off); mix: kernel/transfer/stall at rate, reset at rate/4, engine-error at rate/2")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-rate)")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain window on shutdown")
 	flag.Parse()
 
@@ -84,18 +100,36 @@ func main() {
 	if *shards > 1 {
 		ixs, err := workload.PartitionIndex(ix, *shards)
 		exitOn(err)
+		var inj *fault.Injector
+		if *chaosRate > 0 {
+			inj = fault.NewInjector(fault.Plan{Seed: *chaosSeed, Rules: []fault.Rule{
+				{Kind: fault.KernelLaunch, Rate: *chaosRate},
+				{Kind: fault.TransferError, Rate: *chaosRate},
+				{Kind: fault.DeviceReset, Rate: *chaosRate / 4, Stall: 2 * time.Millisecond},
+				{Kind: fault.EngineError, Rate: *chaosRate / 2},
+				{Kind: fault.ShardStall, Rate: *chaosRate, Stall: 3 * time.Millisecond},
+			}})
+		}
 		cl, err := cluster.New(ixs, cluster.Config{
 			Engine:       core.Config{Mode: mode, CacheLists: *cache},
 			TopK:         *topK,
 			Replicas:     *replicas,
 			Routing:      routing,
 			ShardTimeout: *shardTimeout,
+			HedgeDelay:   *hedgeDelay,
+			Retries:      *retries,
+			Breaker:      fault.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+			Fault:        inj,
 		})
 		exitOn(err)
 		defer cl.Close()
 		handler = server.NewCluster(cl)
-		log.Printf("griffin-server: %d docs, %d terms, mode=%s, %d shards x %d replicas (%s), listening on %s",
-			ix.NumDocs, ix.NumTerms(), mode, *shards, *replicas, routing, *addr)
+		chaos := ""
+		if inj != nil {
+			chaos = fmt.Sprintf(", chaos rate=%.2f seed=%d", *chaosRate, *chaosSeed)
+		}
+		log.Printf("griffin-server: %d docs, %d terms, mode=%s, %d shards x %d replicas (%s)%s, listening on %s",
+			ix.NumDocs, ix.NumTerms(), mode, *shards, *replicas, routing, chaos, *addr)
 	} else {
 		dev := gpu.New(hwmodel.DefaultGPU(), 0)
 		engine, err := core.New(ix, core.Config{

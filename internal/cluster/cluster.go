@@ -21,16 +21,29 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
 	"griffin/internal/kernels"
 )
+
+// ErrAllShardsFailed wraps the error Search returns when no shard
+// produced a result; chaos drivers match it with errors.Is to count a
+// failed query instead of aborting the run.
+var ErrAllShardsFailed = errors.New("cluster: all shards failed")
+
+// DefaultRetryBackoff is the modeled delay charged before a sibling
+// retry when Config.RetryBackoff is zero.
+const DefaultRetryBackoff = 200 * time.Microsecond
 
 // Config parameterizes a Cluster.
 type Config struct {
@@ -60,12 +73,58 @@ type Config struct {
 	// DeviceModel builds each replica's private simulated device (zero
 	// value = hwmodel.DefaultGPU()).
 	DeviceModel hwmodel.GPUModel
+
+	// Fault is the cluster's fault injector (nil = no injection, the
+	// zero-cost default). Each replica's device runtime gets the
+	// injector's submit hook at its site ("s<shard>r<replica>"), and
+	// every sub-query admission draws the shard-stall and engine-error
+	// faults at the same site.
+	Fault *fault.Injector
+	// Breaker configures the per-replica circuit breakers. The zero
+	// value selects the fault package's defaults (trip after 3
+	// consecutive failures, 5ms cooldown, 1 probe); Threshold < 0
+	// disables breakers. CPU-fallback sub-queries count as soft strikes:
+	// the query succeeded, but the device it ran on is misbehaving, so
+	// repeated fallbacks trip the breaker and steer traffic to a healthy
+	// sibling until half-open probes show the device recovered.
+	Breaker fault.BreakerConfig
+	// Retries is the per-shard sibling-retry budget when a sub-query
+	// fails hard: 0 selects the default (1 when Replicas > 1, else 0),
+	// negative disables retries. Each retry is charged RetryBackoff of
+	// modeled delay before the sibling attempt.
+	Retries int
+	// RetryBackoff is the modeled delay before each retry attempt
+	// (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// HedgeDelay, when > 0 with Replicas > 1, hedges slow shards: a
+	// sub-query whose modeled latency exceeds the delay dispatches a
+	// second attempt on a sibling replica at (arrival + HedgeDelay), and
+	// the shard's effective latency is the minimum of the two paths —
+	// min(primary, HedgeDelay + hedge). Results are identical on either
+	// replica (bit-identical parity), so hedging trades duplicated work
+	// for tail latency exactly as in the tail-at-scale playbook, and
+	// ShardTimeout stops being the only defense against a stalled shard.
+	HedgeDelay time.Duration
 }
 
 // Cluster serves queries over document-partitioned shards.
 type Cluster struct {
 	cfg    Config
 	shards []*shardGroup
+	// seq drives the modeled clock for untimed queries: breakers and
+	// fault schedules need a monotone "now", so each Search ticks the
+	// cluster one millisecond. Timed queries (SearchAt) use their
+	// arrival instead.
+	seq atomic.Int64
+
+	// Self-healing counters, cluster lifetime.
+	retries   atomic.Int64 // sibling retry attempts
+	hedges    atomic.Int64 // hedge attempts dispatched
+	hedgeWins atomic.Int64 // hedges that beat the primary
+	fallbacks atomic.Int64 // sub-queries answered by CPU fallback
+	queries   atomic.Int64 // cluster queries served
+	failed    atomic.Int64 // cluster queries with no result at all
+	degraded  atomic.Int64 // cluster queries missing at least one shard
 }
 
 // New builds a cluster over one index per shard (typically the output of
@@ -103,11 +162,47 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 				c.Close()
 				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", s, r, err)
 			}
-			g.replicas = append(g.replicas, &replica{engine: eng})
+			site := fmt.Sprintf("s%dr%d", s, r)
+			rep := &replica{
+				engine:  eng,
+				site:    site,
+				breaker: fault.NewBreaker(cfg.Breaker),
+				inj:     cfg.Fault,
+			}
+			if cfg.Fault != nil {
+				if rt := eng.Runtime(); rt != nil {
+					rt.SetSubmitHook(cfg.Fault.DeviceHook(site))
+				}
+			}
+			g.replicas = append(g.replicas, rep)
 		}
 		c.shards = append(c.shards, g)
 	}
 	return c, nil
+}
+
+// retryBudget resolves the Retries default: one sibling retry when the
+// shard has a sibling, none otherwise.
+func (c *Cluster) retryBudget() int {
+	switch {
+	case c.cfg.Retries < 0:
+		return 0
+	case c.cfg.Retries == 0:
+		if c.cfg.Replicas > 1 {
+			return 1
+		}
+		return 0
+	default:
+		return c.cfg.Retries
+	}
+}
+
+// retryBackoff resolves the RetryBackoff default.
+func (c *Cluster) retryBackoff() time.Duration {
+	if c.cfg.RetryBackoff > 0 {
+		return c.cfg.RetryBackoff
+	}
+	return DefaultRetryBackoff
 }
 
 // Close releases every replica engine's device resources.
@@ -145,11 +240,23 @@ type ShardStats struct {
 	Shard   int
 	Replica int
 	// TimedOut marks a shard dropped for exceeding ShardTimeout; Err a
-	// shard whose engine failed. Either way the shard is missing from the
-	// merged result.
+	// shard whose engine failed (after exhausting retries). Either way
+	// the shard is missing from the merged result.
 	TimedOut bool
 	Err      string
-	// Query is the shard engine's execution record (zero when Err is set).
+	// Retries counts the sibling retry attempts this sub-query needed;
+	// Hedged marks that a hedge was dispatched, HedgeWon that the hedge's
+	// path beat the primary's.
+	Retries  int
+	Hedged   bool
+	HedgeWon bool
+	// Effective is the shard's contribution to the cluster critical
+	// path: the serving attempt's latency plus injected stalls and retry
+	// backoff, or min(primary, HedgeDelay + hedge) when hedged. Equals
+	// Query.Latency on a clean un-hedged sub-query.
+	Effective time.Duration
+	// Query is the execution record of the attempt whose result was used
+	// (zero when Err is set).
 	Query core.QueryStats
 }
 
@@ -167,6 +274,12 @@ type Stats struct {
 	// documents the result may be missing.
 	Degraded bool
 	Missing  []int
+	// Retries, Hedges, HedgeWins, and Fallbacks total the self-healing
+	// actions this query took across its shards.
+	Retries   int
+	Hedges    int
+	HedgeWins int
+	Fallbacks int
 	// Shards has one record per shard, in shard order.
 	Shards []ShardStats
 }
@@ -182,12 +295,19 @@ type Result struct {
 }
 
 // Search scatter-gathers one conjunctive query: one replica per shard is
-// chosen by the routing policy, all shards execute concurrently, and the
-// per-shard top-k lists merge into the global top-k. Shards that error or
-// exceed ShardTimeout degrade the result rather than failing it; an error
-// is returned only when every shard failed.
-func (c *Cluster) Search(terms []string) (*Result, error) {
-	return c.search(terms, 0, false)
+// chosen by the routing policy (skipping tripped circuit breakers), all
+// shards execute concurrently, and the per-shard top-k lists merge into
+// the global top-k. A shard whose sub-query fails hard is retried on a
+// sibling replica (with modeled backoff); a slow shard may be hedged on
+// a sibling. Shards that still error or exceed ShardTimeout degrade the
+// result rather than failing it; an error is returned only when every
+// shard failed (errors.Is(err, ErrAllShardsFailed)).
+//
+// ctx cancels straggler sub-queries: when it is done, in-flight shard
+// plans abort at the next operator boundary and Search returns ctx's
+// error without waiting for them. A nil ctx means no cancellation.
+func (c *Cluster) Search(ctx context.Context, terms []string) (*Result, error) {
+	return c.search(ctx, terms, 0, false)
 }
 
 // SearchAt runs one cluster query arriving at an explicit simulated time
@@ -196,42 +316,87 @@ func (c *Cluster) Search(terms []string) (*Result, error) {
 // shard's device delays this query's sub-query there, so the returned
 // latency is the arrival-to-completion sojourn of the slowest shard plus
 // merge.
-func (c *Cluster) SearchAt(terms []string, arrival time.Duration) (*Result, error) {
-	return c.search(terms, arrival, true)
+func (c *Cluster) SearchAt(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
+	return c.search(ctx, terms, arrival, true)
 }
 
+// shardOutcome is one shard's gathered sub-query: the attempt that
+// produced the result (or the last error), plus the self-healing path
+// taken to get it.
 type shardOutcome struct {
-	replica int
-	res     *core.Result
-	err     error
+	replica   int
+	res       *core.Result
+	err       error
+	effective time.Duration
+	retries   int
+	hedged    bool
+	hedgeWon  bool
 }
 
-func (c *Cluster) search(terms []string, arrival time.Duration, timed bool) (*Result, error) {
+func (c *Cluster) search(parent context.Context, terms []string, arrival time.Duration, timed bool) (*Result, error) {
+	c.queries.Add(1)
+	// "Now" for breakers and fault schedules: the arrival for timed
+	// queries, a 1ms-per-query internal clock otherwise.
+	now := arrival
+	if !timed {
+		now = time.Duration(c.seq.Add(1)) * time.Millisecond
+	}
+	ctx := parent
+	var cancel context.CancelFunc
+	if ctx != nil {
+		// Derived so returning cancels stragglers at their next operator
+		// boundary instead of leaking them to plan completion.
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
 	outs := make([]shardOutcome, len(c.shards))
 	var wg sync.WaitGroup
 	for s, g := range c.shards {
-		ri, rep := g.pick(c.cfg.Routing)
-		outs[s].replica = ri
 		wg.Add(1)
-		go func(s int, rep *replica) {
+		go func(s int, g *shardGroup) {
 			defer wg.Done()
-			outs[s].res, outs[s].err = rep.search(terms, arrival, timed)
-		}(s, rep)
+			outs[s] = c.searchShard(ctx, g, terms, arrival, timed, now)
+		}(s, g)
 	}
-	wg.Wait()
+	if ctx != nil {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// The caller is gone: the derived cancel (deferred above)
+			// aborts the stragglers; don't wait for them.
+			c.failed.Add(1)
+			return nil, ctx.Err()
+		}
+	} else {
+		wg.Wait()
+	}
 
 	st := Stats{Shards: make([]ShardStats, len(c.shards))}
 	parts := make([][]kernels.ScoredDoc, 0, len(c.shards))
 	failures := 0
 	for s, out := range outs {
-		ss := ShardStats{Shard: s, Replica: out.replica}
+		ss := ShardStats{
+			Shard: s, Replica: out.replica,
+			Retries: out.retries, Hedged: out.hedged, HedgeWon: out.hedgeWon,
+			Effective: out.effective,
+		}
+		st.Retries += out.retries
+		if out.hedged {
+			st.Hedges++
+		}
+		if out.hedgeWon {
+			st.HedgeWins++
+		}
 		switch {
 		case out.err != nil:
 			ss.Err = out.err.Error()
 			st.Degraded = true
 			st.Missing = append(st.Missing, s)
 			failures++
-		case c.cfg.ShardTimeout > 0 && out.res.Stats.Latency > c.cfg.ShardTimeout:
+		case c.cfg.ShardTimeout > 0 && out.effective > c.cfg.ShardTimeout:
 			// The gather waited the full budget before giving up on the
 			// shard: the critical path charges the timeout, the shard's
 			// documents go missing from the merged result.
@@ -244,15 +409,31 @@ func (c *Cluster) search(terms []string, arrival time.Duration, timed bool) (*Re
 			}
 		default:
 			ss.Query = out.res.Stats
+			if out.res.Stats.FallbackCPU {
+				st.Fallbacks++
+			}
 			parts = append(parts, out.res.Docs)
-			if out.res.Stats.Latency > st.MaxShard {
-				st.MaxShard = out.res.Stats.Latency
+			if out.effective > st.MaxShard {
+				st.MaxShard = out.effective
 			}
 		}
 		st.Shards[s] = ss
 	}
+	if st.Degraded {
+		c.degraded.Add(1)
+	}
 	if failures == len(c.shards) {
-		return nil, fmt.Errorf("cluster: all %d shards failed: %s", failures, st.Shards[0].Err)
+		c.failed.Add(1)
+		// Report the first shard actually carrying an error (a shard may
+		// be missing for other reasons, e.g. a timeout).
+		first := ""
+		for _, ss := range st.Shards {
+			if ss.Err != "" {
+				first = ss.Err
+				break
+			}
+		}
+		return nil, fmt.Errorf("%w: %d shards, first error: %s", ErrAllShardsFailed, failures, first)
 	}
 
 	docs, work := MergeTopK(parts, c.cfg.TopK)
@@ -264,12 +445,113 @@ func (c *Cluster) search(terms []string, arrival time.Duration, timed bool) (*Re
 	return &Result{Docs: docs, Stats: st}, nil
 }
 
+// attempt runs one sub-query on one replica, drawing the admission-level
+// faults (engine error, shard stall) at the replica's site and recording
+// the outcome on its breaker. A CPU fallback succeeds but counts as a
+// soft strike — the device misbehaved even though the query survived —
+// so a replica answering every query from fallback still trips its
+// breaker and sheds traffic to a healthy sibling. The returned duration
+// is the attempt's effective latency (engine latency plus any injected
+// stall); it is zero when err is non-nil.
+func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arrival time.Duration, timed bool, now time.Duration) (*core.Result, time.Duration, error) {
+	stall, err := c.cfg.Fault.AdmitQuery(rep.site, now)
+	if err != nil {
+		rep.breaker.Record(now, false)
+		return nil, 0, err
+	}
+	res, err := rep.search(ctx, terms, arrival, timed)
+	if err != nil {
+		rep.breaker.Record(now, false)
+		return nil, 0, err
+	}
+	if res.Stats.FallbackCPU {
+		c.fallbacks.Add(1)
+		rep.breaker.Record(now, false) // soft strike
+	} else {
+		rep.breaker.Record(now, true)
+	}
+	return res, res.Stats.Latency + stall, nil
+}
+
+// searchShard serves one shard of one query: route (breaker-aware),
+// attempt, retry on a sibling with modeled backoff while the budget
+// lasts, then hedge a slow result on a sibling when configured.
+func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string, arrival time.Duration, timed bool, now time.Duration) shardOutcome {
+	var out shardOutcome
+	ri, rep := g.pick(c.cfg.Routing, now)
+	out.replica = ri
+	res, eff, err := c.attempt(ctx, rep, terms, arrival, timed, now)
+	out.res, out.effective, out.err = res, eff, err
+
+	// Sibling retries: each failed attempt is charged the backoff before
+	// the next replica tries. Retrying the same replica is pointless in
+	// the model (it would draw the same fault stream), so the previous
+	// replica is excluded.
+	budget := c.retryBudget()
+	backoff := c.retryBackoff()
+	var waited time.Duration
+	for out.err != nil && budget > 0 && len(g.replicas) > 1 {
+		if ctx != nil && ctx.Err() != nil {
+			return out
+		}
+		budget--
+		out.retries++
+		c.retries.Add(1)
+		waited += backoff
+		prev := out.replica
+		ri, rep = g.pickExcluding(c.cfg.Routing, now+waited, prev)
+		res, eff, err = c.attempt(ctx, rep, terms, arrival+waited, timed, now+waited)
+		if err == nil {
+			out.replica, out.res, out.err = ri, res, nil
+			out.effective = waited + eff
+		} else {
+			out.err = err
+		}
+	}
+	if out.err != nil {
+		return out
+	}
+
+	// Hedge: when the serving path is slower than the hedge delay, a
+	// sibling gets the same sub-query at (arrival + HedgeDelay) and the
+	// faster path defines the shard's effective latency. The model runs
+	// the hedge after the primary completes — modeled latency is only
+	// known then — and takes min(primary, HedgeDelay + hedge), which is
+	// exactly the latency a concurrent dispatch would have produced.
+	// Results need no reconciliation: replicas are bit-identical.
+	if c.cfg.HedgeDelay > 0 && len(g.replicas) > 1 && out.effective > c.cfg.HedgeDelay {
+		if ctx != nil && ctx.Err() != nil {
+			return out
+		}
+		hNow := now + c.cfg.HedgeDelay
+		hi, hrep := g.pickExcluding(c.cfg.Routing, hNow, out.replica)
+		out.hedged = true
+		c.hedges.Add(1)
+		hres, heff, herr := c.attempt(ctx, hrep, terms, arrival+c.cfg.HedgeDelay, timed, hNow)
+		if herr == nil {
+			if hedgePath := c.cfg.HedgeDelay + heff; hedgePath < out.effective {
+				out.replica, out.res, out.effective = hi, hres, hedgePath
+				out.hedgeWon = true
+				c.hedgeWins.Add(1)
+			}
+		}
+	}
+	return out
+}
+
 // ShardTelemetry is one replica engine's live state, the /statz surface.
 type ShardTelemetry struct {
 	Shard   int
 	Replica int
+	// Site is the replica's fault-injection site name ("s2r1").
+	Site string
 	// Queries counts sub-queries this replica served.
 	Queries int64
+	// Breaker is the replica's circuit-breaker state ("closed", "open",
+	// "half-open") at the cluster's current modeled time; BreakerTrips
+	// counts how many times it has opened.
+	Breaker      string
+	BreakerTrips int64
 	// Device is the replica's device-runtime snapshot (nil for CPU-only
 	// engines).
 	Device *gpu.RuntimeStats
@@ -277,16 +559,27 @@ type ShardTelemetry struct {
 	Cache core.CacheStats
 }
 
+// now returns the cluster's current modeled time (the untimed clock's
+// position; timed workloads read breaker states against it too, which
+// is safe because arrivals only ever advance alongside it).
+func (c *Cluster) now() time.Duration {
+	return time.Duration(c.seq.Load()) * time.Millisecond
+}
+
 // Telemetry snapshots every replica, shard-major.
 func (c *Cluster) Telemetry() []ShardTelemetry {
+	now := c.now()
 	out := make([]ShardTelemetry, 0, len(c.shards)*c.cfg.Replicas)
 	for _, g := range c.shards {
 		for ri, rep := range g.replicas {
 			t := ShardTelemetry{
-				Shard:   g.id,
-				Replica: ri,
-				Queries: rep.served.Load(),
-				Cache:   rep.engine.CacheStats(),
+				Shard:        g.id,
+				Replica:      ri,
+				Site:         rep.site,
+				Queries:      rep.served.Load(),
+				Breaker:      rep.breaker.State(now).String(),
+				BreakerTrips: rep.breaker.Trips(),
+				Cache:        rep.engine.CacheStats(),
 			}
 			if rt := rep.engine.Runtime(); rt != nil {
 				st := rt.Stats()
@@ -296,4 +589,92 @@ func (c *Cluster) Telemetry() []ShardTelemetry {
 		}
 	}
 	return out
+}
+
+// SelfHealStats is the cluster-lifetime self-healing counter snapshot.
+type SelfHealStats struct {
+	// Queries, Degraded, Failed count cluster queries served, answered
+	// partially, and not answered at all.
+	Queries  int64
+	Degraded int64
+	Failed   int64
+	// Retries, Hedges, HedgeWins, Fallbacks count sibling retry
+	// attempts, hedges dispatched, hedges that won, and sub-queries
+	// answered by the engines' CPU fallback.
+	Retries   int64
+	Hedges    int64
+	HedgeWins int64
+	Fallbacks int64
+	// BreakerTrips totals breaker openings across all replicas.
+	BreakerTrips int64
+	// InjectedFaults totals the fault injector's fired events (zero
+	// without a fault plan).
+	InjectedFaults int64
+}
+
+// SelfHeal snapshots the cluster's self-healing counters.
+func (c *Cluster) SelfHeal() SelfHealStats {
+	st := SelfHealStats{
+		Queries:        c.queries.Load(),
+		Degraded:       c.degraded.Load(),
+		Failed:         c.failed.Load(),
+		Retries:        c.retries.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		Fallbacks:      c.fallbacks.Load(),
+		InjectedFaults: c.cfg.Fault.Total(),
+	}
+	for _, g := range c.shards {
+		for _, rep := range g.replicas {
+			st.BreakerTrips += rep.breaker.Trips()
+		}
+	}
+	return st
+}
+
+// Injector returns the cluster's fault injector (nil without a fault
+// plan) — the /statz surface for the injected-fault log.
+func (c *Cluster) Injector() *fault.Injector { return c.cfg.Fault }
+
+// ShardHealth is one shard's reachability summary.
+type ShardHealth struct {
+	Shard int
+	// Reachable reports that at least one replica's breaker admits
+	// traffic; Open counts replicas whose breaker is open.
+	Reachable bool
+	Open      int
+}
+
+// Health is the cluster's degradation summary, the /healthz surface.
+type Health struct {
+	// Healthy is false when a majority of shards are unreachable (every
+	// replica's breaker open) — the 503 condition.
+	Healthy bool
+	// Shards has one entry per shard; Unreachable counts shards with no
+	// admitting replica.
+	Shards      []ShardHealth
+	Unreachable int
+}
+
+// Health reports per-shard reachability at the cluster's current
+// modeled time.
+func (c *Cluster) Health() Health {
+	now := c.now()
+	h := Health{Shards: make([]ShardHealth, len(c.shards))}
+	for i, g := range c.shards {
+		sh := ShardHealth{Shard: g.id}
+		for _, rep := range g.replicas {
+			if rep.breaker.State(now) == fault.Open {
+				sh.Open++
+			} else {
+				sh.Reachable = true
+			}
+		}
+		if !sh.Reachable {
+			h.Unreachable++
+		}
+		h.Shards[i] = sh
+	}
+	h.Healthy = h.Unreachable*2 < len(c.shards)
+	return h
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestClusterLatencyIsMaxShardPlusMerge(t *testing.T) {
 	defer cl.Close()
 
 	for i, q := range queries {
-		r, err := cl.Search(q.Terms)
+		r, err := cl.Search(context.Background(), q.Terms)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestClusterTimeoutDegradesGracefully(t *testing.T) {
 	// Find a query whose two shards land measurably apart, then set the
 	// timeout between them: exactly the slow shard must go missing.
 	for _, q := range queries {
-		r, err := probe.Search(q.Terms)
+		r, err := probe.Search(context.Background(), q.Terms)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestClusterTimeoutDegradesGracefully(t *testing.T) {
 			Engine: core.Config{Mode: core.CPUOnly}, TopK: 10, ShardTimeout: cut,
 		})
 		defer cl.Close()
-		dr, err := cl.Search(q.Terms)
+		dr, err := cl.Search(context.Background(), q.Terms)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestClusterAllShardsTimedOutReturnsEmptyDegraded(t *testing.T) {
 		Engine: core.Config{Mode: core.CPUOnly}, TopK: 10, ShardTimeout: time.Nanosecond,
 	})
 	defer cl.Close()
-	r, err := cl.Search([]string{workload.TermName(3), workload.TermName(9)})
+	r, err := cl.Search(context.Background(), []string{workload.TermName(3), workload.TermName(9)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestClusterAllShardsFailedReturnsError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Search([]string{workload.TermName(3), workload.TermName(9)}); err == nil {
+	if _, err := cl.Search(context.Background(), []string{workload.TermName(3), workload.TermName(9)}); err == nil {
 		t.Fatal("expected error when every shard fails")
 	}
 }
@@ -156,7 +157,7 @@ func TestRoundRobinSpreadsReplicas(t *testing.T) {
 	defer cl.Close()
 	q := []string{workload.TermName(3), workload.TermName(9)}
 	for i := 0; i < 6; i++ {
-		if _, err := cl.Search(q); err != nil {
+		if _, err := cl.Search(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -181,7 +182,7 @@ func TestLeastPendingPrefersIdleReplica(t *testing.T) {
 	// replica 0 — the property that matters is it never queues behind a
 	// busy replica when an idle one exists.
 	for i := 0; i < 4; i++ {
-		if _, err := cl.Search(q); err != nil {
+		if _, err := cl.Search(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -198,7 +199,7 @@ func TestClusterUnknownTermsWellFormed(t *testing.T) {
 	c := parityCorpus(t)
 	cl := buildCluster(t, c, 3, Config{Engine: core.Config{Mode: core.Hybrid}, TopK: 10})
 	defer cl.Close()
-	r, err := cl.Search([]string{"definitely-not-indexed"})
+	r, err := cl.Search(context.Background(), []string{"definitely-not-indexed"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestClusterTelemetryShape(t *testing.T) {
 	})
 	defer cl.Close()
 	q := []string{workload.TermName(3), workload.TermName(9)}
-	if _, err := cl.Search(q); err != nil {
+	if _, err := cl.Search(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	tel := cl.Telemetry()
@@ -261,7 +262,7 @@ func TestClusterConcurrentSearchRace(t *testing.T) {
 		wg.Add(1)
 		go func(terms []string) {
 			defer wg.Done()
-			if _, err := cl.Search(terms); err != nil {
+			if _, err := cl.Search(context.Background(), terms); err != nil {
 				errs <- err
 			}
 		}(q.Terms)

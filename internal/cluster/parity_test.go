@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestScatterGatherParity(t *testing.T) {
 				TopK:   k,
 			})
 			for i, q := range queries {
-				got, err := cl.Search(q.Terms)
+				got, err := cl.Search(context.Background(), q.Terms)
 				if err != nil {
 					t.Fatalf("%v shards=%d query %d: %v", mode, shards, i, err)
 				}
@@ -130,7 +131,7 @@ func TestScatterGatherCandidatePartition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := cl.Search(q.Terms)
+		g, err := cl.Search(context.Background(), q.Terms)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/sched"
 )
 
@@ -21,6 +23,12 @@ const (
 	// the router steers the whole sub-query to a less busy device.
 	// In-flight sub-query counts break ties (and stand in for the signal
 	// entirely on CPU-only replicas, which have no device runtime).
+	//
+	// A device mid-reset is a trap for this policy: its queues are empty
+	// precisely because it is down, so raw backlog makes it look like the
+	// best destination. The router therefore adds the remaining reset
+	// window (fault.Injector.ResetRemaining) to the backlog signal, and
+	// pick skips replicas whose circuit breaker refuses traffic outright.
 	LeastPending
 )
 
@@ -34,34 +42,45 @@ func (r Routing) String() string {
 
 // replica is one engine serving a shard.
 type replica struct {
-	engine   *core.Engine
+	engine *core.Engine
+	// site names this replica at fault-injection points ("s2r1").
+	site string
+	// breaker gates traffic to the replica; never nil.
+	breaker *fault.Breaker
+	// inj is the cluster's fault injector (nil when faults are off);
+	// the replica reads it for the mid-reset routing signal.
+	inj *fault.Injector
+
 	inflight atomic.Int64
 	served   atomic.Int64
 }
 
 // backlog returns the replica's routing signal: the device's pending
-// compute time (sched.DeviceBacklog), or zero for CPU-only replicas.
-func (r *replica) backlog() time.Duration {
-	var b sched.DeviceBacklog
+// compute time (sched.DeviceBacklog) plus any remaining injected reset
+// window, or zero for CPU-only replicas.
+func (r *replica) backlog(now time.Duration) time.Duration {
+	var b time.Duration
+	var dv sched.DeviceBacklog
 	if rt := r.engine.Runtime(); rt != nil {
-		b = rt
+		dv = rt
 	}
-	if b == nil {
-		return 0
+	if dv != nil {
+		b = dv.PendingTime()
 	}
-	return b.PendingTime()
+	b += r.inj.ResetRemaining(r.site, now)
+	return b
 }
 
 // search runs one sub-query, tracking in-flight and served counters for
 // the router and telemetry.
-func (r *replica) search(terms []string, arrival time.Duration, timed bool) (*core.Result, error) {
+func (r *replica) search(ctx context.Context, terms []string, arrival time.Duration, timed bool) (*core.Result, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
 	r.served.Add(1)
 	if timed {
-		return r.engine.SearchAt(terms, arrival)
+		return r.engine.SearchAtContext(ctx, terms, arrival)
 	}
-	return r.engine.Search(terms)
+	return r.engine.SearchContext(ctx, terms)
 }
 
 // shardGroup is one shard's replica set.
@@ -71,18 +90,48 @@ type shardGroup struct {
 	replicas []*replica
 }
 
-// pick selects a replica under the routing policy, returning its index
-// and the replica.
-func (g *shardGroup) pick(routing Routing) (int, *replica) {
+// pick selects a replica under the routing policy at modeled time now,
+// returning its index and the replica. Replicas whose circuit breaker
+// refuses traffic are skipped; when every breaker refuses, pick fails
+// open and routes as if all were admissible (availability over purity —
+// a wrong guess degrades, refusing outright fails).
+func (g *shardGroup) pick(routing Routing, now time.Duration) (int, *replica) {
+	return g.pickExcluding(routing, now, -1)
+}
+
+// pickExcluding is pick with one replica index barred — the sibling
+// selection for retries and hedges (exclude < 0 bars nothing).
+func (g *shardGroup) pickExcluding(routing Routing, now time.Duration, exclude int) (int, *replica) {
 	if len(g.replicas) == 1 {
 		return 0, g.replicas[0]
 	}
+	admissible := func(i int) bool {
+		return i != exclude && g.replicas[i].breaker.Allow(now)
+	}
+	candidates := make([]int, 0, len(g.replicas))
+	for i := range g.replicas {
+		if admissible(i) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		// Fail open: every breaker refused (or only the excluded replica
+		// remained). Route over the full set minus the exclusion.
+		for i := range g.replicas {
+			if i != exclude {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return exclude, g.replicas[exclude]
+		}
+	}
 	if routing == LeastPending {
-		best := 0
-		bestBacklog := g.replicas[0].backlog()
-		bestInflight := g.replicas[0].inflight.Load()
-		for i := 1; i < len(g.replicas); i++ {
-			b := g.replicas[i].backlog()
+		best := candidates[0]
+		bestBacklog := g.replicas[best].backlog(now)
+		bestInflight := g.replicas[best].inflight.Load()
+		for _, i := range candidates[1:] {
+			b := g.replicas[i].backlog(now)
 			fl := g.replicas[i].inflight.Load()
 			if b < bestBacklog || (b == bestBacklog && fl < bestInflight) {
 				best, bestBacklog, bestInflight = i, b, fl
@@ -90,6 +139,6 @@ func (g *shardGroup) pick(routing Routing) (int, *replica) {
 		}
 		return best, g.replicas[best]
 	}
-	i := int((g.rr.Add(1) - 1) % int64(len(g.replicas)))
+	i := candidates[int((g.rr.Add(1)-1)%int64(len(candidates)))]
 	return i, g.replicas[i]
 }

@@ -19,10 +19,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"griffin/internal/exec"
+	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
@@ -112,6 +114,14 @@ type Config struct {
 	// CacheBytes bounds the device cache (0 = 4 GB, leaving headroom of
 	// the K20's 5 GB for working buffers).
 	CacheBytes int64
+	// NoCPUFallback disables the engine's degradation path: by default a
+	// query whose device plan dies on an injected device fault
+	// (fault.DeviceFault — not ordinary resource errors like OOM) is
+	// transparently re-run on the CPU-only plan, returning correct
+	// results with the wasted device time charged to its stats. The
+	// paper's CPU/GPU symmetry is what makes this sound: both processors
+	// are full-fidelity executors of the same query work.
+	NoCPUFallback bool
 }
 
 // Engine executes queries against one index.
@@ -271,12 +281,20 @@ type Result struct {
 // per-query numbers exactly, while queries overlapping in wall clock
 // contend for the modeled device and pay queueing delay (Stats.GPUWait).
 func (e *Engine) Search(terms []string) (*Result, error) {
+	return e.SearchContext(nil, terms)
+}
+
+// SearchContext is Search with a cancellation context: ctx (when
+// non-nil) is checked between plan operators, so a caller that no longer
+// needs the answer — a cluster query whose hedge already won, a closed
+// HTTP request — aborts the remaining work with ctx's error.
+func (e *Engine) SearchContext(ctx context.Context, terms []string) (*Result, error) {
 	var h *gpu.QueryStream
 	if e.runtime != nil {
 		h = e.runtime.Admit()
 		defer h.Release()
 	}
-	return e.search(terms, h)
+	return e.search(ctx, terms, h)
 }
 
 // SearchAt runs one query arriving at an explicit simulated time on the
@@ -286,15 +304,21 @@ func (e *Engine) Search(terms []string) (*Result, error) {
 // query even though the driver executes queries one at a time, so the
 // returned latency is the arrival-to-completion sojourn time.
 func (e *Engine) SearchAt(terms []string, arrival time.Duration) (*Result, error) {
+	return e.SearchAtContext(nil, terms, arrival)
+}
+
+// SearchAtContext is SearchAt with a cancellation context (see
+// SearchContext).
+func (e *Engine) SearchAtContext(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
 	var h *gpu.QueryStream
 	if e.runtime != nil {
 		h = e.runtime.AdmitAt(arrival)
 		defer h.Release()
 	}
-	return e.search(terms, h)
+	return e.search(ctx, terms, h)
 }
 
-func (e *Engine) search(terms []string, h *gpu.QueryStream) (*Result, error) {
+func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStream) (*Result, error) {
 	fetches := make([]exec.Fetch, len(terms))
 	for i, t := range terms {
 		fetches[i] = exec.Fetch{Term: t}
@@ -303,6 +327,7 @@ func (e *Engine) search(terms []string, h *gpu.QueryStream) (*Result, error) {
 		}
 	}
 	ctx := &exec.Context{
+		Ctx:           cancel,
 		CPU:           e.cfg.CPU,
 		Device:        e.cfg.Device,
 		Handle:        h,
@@ -313,7 +338,47 @@ func (e *Engine) search(terms []string, h *gpu.QueryStream) (*Result, error) {
 	}
 	out, err := exec.Run(ctx, fetches, e.planBuilder(e.queryPolicy(h)))
 	if err != nil {
+		if fault.IsDeviceFault(err) && !e.cfg.NoCPUFallback && e.cfg.Mode != CPUOnly {
+			return e.fallbackCPU(cancel, fetches, h, err)
+		}
 		return nil, err
+	}
+	return &Result{Docs: out.Docs, Stats: out.Stats}, nil
+}
+
+// fallbackCPU re-runs a query whose device plan died on an injected
+// fault, using the CPU-only plan — the paper's hybrid symmetry made
+// load-bearing: the CPU executes the exact same query work, so the
+// fallback's results match the CPU-only golden bit for bit. The
+// simulated device time the aborted plan had accumulated (service time
+// plus queueing delay) is charged to the fallback's stats as
+// FaultWasted/GPUTime: the failed attempt happened on the timeline even
+// though its results were discarded.
+func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gpu.QueryStream, cause error) (*Result, error) {
+	var wasted time.Duration
+	if h != nil {
+		wasted = h.Stream().Elapsed()
+	}
+	ctx := &exec.Context{
+		Ctx:           cancel,
+		CPU:           e.cfg.CPU,
+		Scorer:        e.scorer,
+		SkipThreshold: e.cfg.CPUSkipThreshold,
+		TopK:          e.cfg.TopK,
+	}
+	out, err := exec.Run(ctx, fetches, func(ordered []*index.PostingList) exec.Builder {
+		return exec.NewCPUBuilder(ordered)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Stats.FallbackCPU = true
+	out.Stats.Fault = cause.Error()
+	out.Stats.FaultWasted = wasted
+	out.Stats.GPUTime += wasted
+	out.Stats.Latency = out.Stats.CPUTime + out.Stats.GPUTime
+	if h != nil {
+		out.Stats.GPUWait = h.Waited()
 	}
 	return &Result{Docs: out.Docs, Stats: out.Stats}, nil
 }

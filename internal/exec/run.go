@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,12 @@ func (directUpload) DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (Devi
 // hardware models pricing the simulated timeline, the device (nil for
 // pure-CPU plans), the list provider, and the ranking configuration.
 type Context struct {
+	// Ctx, when non-nil, is checked between operators: a cancelled
+	// context aborts the run with its error. Cluster queries thread
+	// their request context here so a finished (or hedge-won) query
+	// stops straggler sub-queries instead of letting them run the plan
+	// to completion.
+	Ctx context.Context
 	// CPU prices host work.
 	CPU hwmodel.CPUModel
 	// Device is the simulated GPU; may be nil when no builder emits
@@ -136,6 +143,11 @@ func Run(ctx *Context, fetches []Fetch, mkBuilder func(ordered []*index.PostingL
 				break
 			}
 			for i := range ops {
+				if ctx.Ctx != nil {
+					if err := ctx.Ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				if err := r.exec(&ops[i]); err != nil {
 					return nil, err
 				}
@@ -488,32 +500,43 @@ func (r *runner) migrate(op *Op, rec *OpRecord) error {
 		return err
 	}
 	start := r.elapsed()
-	d2h := func(buf *gpu.Buffer, bytes int64) []uint32 {
+	d2h := func(buf *gpu.Buffer, bytes int64) ([]uint32, error) {
 		var ids []uint32
-		_ = r.submitDevice(gpu.CopyOutEngine, func(s *gpu.Stream) error {
+		err := r.submitDevice(gpu.CopyOutEngine, func(s *gpu.Stream) error {
 			ids = s.D2H(buf, bytes).([]uint32)
 			return nil
 		})
-		return ids
+		return ids, err
 	}
 	switch {
 	case op.Arg.List != nil:
 		// Drain a decompressed posting list (single-term device plan).
 		pl := op.Arg.List
-		ids := d2h(r.entry(pl).dec, int64(pl.N)*4)
+		ids, err := d2h(r.entry(pl).dec, int64(pl.N)*4)
+		if err != nil {
+			return err
+		}
 		r.hostIDs = ids
 		rec.NIn, rec.NOut = pl.N, len(ids)
 		rec.Bytes = int64(pl.N) * 4
 	case op.Final:
 		r.hostIDs = []uint32{}
 		if r.devRes.Count > 0 {
-			r.hostIDs = d2h(r.devRes.Out, int64(r.devRes.Count)*4)[:r.devRes.Count]
+			ids, err := d2h(r.devRes.Out, int64(r.devRes.Count)*4)
+			if err != nil {
+				return err
+			}
+			r.hostIDs = ids[:r.devRes.Count]
 			rec.Bytes = int64(r.devRes.Count) * 4
 		}
 		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
 	default:
 		// Mid-query migration: execution moves to the CPU (§3.2).
-		r.hostIDs = d2h(r.devRes.Out, int64(r.devRes.Count)*4)[:r.devRes.Count]
+		ids, err := d2h(r.devRes.Out, int64(r.devRes.Count)*4)
+		if err != nil {
+			return err
+		}
+		r.hostIDs = ids[:r.devRes.Count]
 		r.stats.Migrated = true
 		rec.NIn, rec.NOut = r.devRes.Count, len(r.hostIDs)
 		rec.Bytes = int64(r.devRes.Count) * 4

@@ -60,6 +60,20 @@ type QueryStats struct {
 	GPUWait time.Duration
 	// Migrated reports whether a Hybrid query moved from GPU to CPU.
 	Migrated bool
+	// FallbackCPU reports that the original plan died on an injected
+	// device fault and the engine re-ran the query on the CPU-only plan.
+	// The results are correct (the CPU is a full-fidelity executor for
+	// the same query work — the paper's hybrid symmetry); only latency
+	// degrades.
+	FallbackCPU bool
+	// FaultWasted is the simulated device time the aborted plan had
+	// already accumulated when the fault hit. On a fallback query it is
+	// carried into GPUTime (and therefore Latency): the device work was
+	// spent even though its results were discarded.
+	FaultWasted time.Duration
+	// Fault describes the injected fault that aborted the original plan
+	// (empty when the query ran clean).
+	Fault string
 	// Candidates is the final intersection size entering ranking.
 	Candidates int
 	// Ops traces each intersection.

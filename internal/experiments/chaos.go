@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"griffin/internal/cluster"
+	"griffin/internal/core"
+	"griffin/internal/fault"
+	"griffin/internal/index"
+	"griffin/internal/loadsim"
+	"griffin/internal/workload"
+)
+
+// ChaosPoint is one fault rate of the chaos study, measured twice over
+// the identical injected fault stream: once with every self-healing
+// mechanism armed (CPU fallback, sibling retry, circuit breakers,
+// hedging) and once with all of them disabled.
+type ChaosPoint struct {
+	// Rate is the base per-opportunity fault probability; the plan derives
+	// every kind's rate from it (see chaosPlan).
+	Rate float64
+	// Availability is the hardened cluster's fraction of queries answered
+	// completely — neither failed nor degraded.
+	Availability float64
+	// Mean and P99 are the hardened cluster's sojourn times under load,
+	// chaos included (fallback re-execution, retry backoff, stalls).
+	Mean time.Duration
+	P99  time.Duration
+	// Retries, Hedges, Fallbacks, Failed count the self-healing actions
+	// the hardened cluster took across the run.
+	Retries   int
+	Hedges    int
+	Fallbacks int
+	Failed    int
+	// BrittleAvailability and BrittleP99 are the same load over the same
+	// fault plan with self-healing off: device faults and engine errors
+	// surface as lost shards instead of being absorbed.
+	BrittleAvailability float64
+	BrittleP99          time.Duration
+}
+
+// ChaosSweepResult is the fault-rate sweep: availability and tail
+// latency against injected fault rate, hardened vs brittle.
+type ChaosSweepResult struct {
+	// Rate is the offered Poisson load in queries/second (moderate, not
+	// saturating: the study isolates fault handling, not queueing).
+	Rate   float64
+	Points []ChaosPoint
+}
+
+// chaosPlan derives the full fault mix from one base rate: device-level
+// kernel and transfer failures at the base rate, occasional device
+// resets, engine admission errors, and shard stalls. Seeded per point so
+// every (seed, rate) pair replays the identical fault stream.
+func chaosPlan(seed int64, rate float64) fault.Plan {
+	return fault.Plan{Seed: seed, Rules: []fault.Rule{
+		{Kind: fault.KernelLaunch, Rate: rate},
+		{Kind: fault.TransferError, Rate: rate},
+		{Kind: fault.DeviceReset, Rate: rate / 4, Stall: 2 * time.Millisecond},
+		{Kind: fault.EngineError, Rate: rate / 2},
+		{Kind: fault.ShardStall, Rate: rate, Stall: 3 * time.Millisecond},
+	}}
+}
+
+// chaosCorpus is a moderate scatter-gather corpus: long enough lists
+// that device faults hit mid-query, small enough that the sweep's many
+// cluster builds stay cheap.
+func chaosCorpus(cfg Config) (*workload.Corpus, [][]string, error) {
+	c, err := workload.GenerateCorpus(workload.CorpusSpec{
+		NumDocs:    cfg.scaled(2_000_000, 400_000),
+		NumTerms:   cfg.scaled(32, 16),
+		MaxListLen: cfg.scaled(1_000_000, 120_000),
+		MinListLen: cfg.scaled(200_000, 30_000),
+		Alpha:      0.6,
+		Codec:      index.CodecEF,
+		Seed:       cfg.Seed + 61,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := workload.GenerateQueryLog(c, workload.QuerySpec{
+		NumQueries: cfg.scaled(300, 80), PopularityAlpha: 0.5, Seed: cfg.Seed + 67,
+	})
+	sample := make([][]string, len(queries))
+	for i, q := range queries {
+		sample[i] = q.Terms
+	}
+	return c, sample, nil
+}
+
+// RunChaosSweep measures availability (fraction of queries answered
+// completely) and tail latency against injected fault rate on a 4-shard,
+// 2-replica hybrid cluster. Each rate runs twice over the identical
+// fault plan: hardened (CPU fallback + sibling retry + breakers +
+// hedging) and brittle (all self-healing disabled), so the spread
+// between the availability columns is exactly what the robustness layer
+// buys. Everything is seeded: the same Config reproduces the same fault
+// log, availability, and latency table bit for bit.
+func RunChaosSweep(cfg Config) (ChaosSweepResult, *Table, error) {
+	c, sample, err := chaosCorpus(cfg)
+	if err != nil {
+		return ChaosSweepResult{}, nil, err
+	}
+
+	mkCluster := func(inj *fault.Injector, hardened bool, hedge time.Duration) (*cluster.Cluster, error) {
+		ixs, err := workload.PartitionCorpus(c, 4)
+		if err != nil {
+			return nil, err
+		}
+		clCfg := cluster.Config{
+			Engine:   core.Config{Mode: core.Hybrid, CPU: cfg.CPU},
+			TopK:     10,
+			CPU:      cfg.CPU,
+			Replicas: 2,
+			Routing:  cluster.LeastPending,
+			Fault:    inj,
+		}
+		if hardened {
+			clCfg.HedgeDelay = hedge
+		} else {
+			clCfg.Engine.NoCPUFallback = true
+			clCfg.Retries = -1
+			clCfg.Breaker = fault.BreakerConfig{Threshold: -1}
+		}
+		return cluster.New(ixs, clCfg)
+	}
+
+	// Calibrate the load off a fault-free pass: moderate (half the
+	// clean drain rate per shard replica set) so queueing exists but the
+	// availability signal is the faults, not saturation. The hedge delay
+	// is set well past the clean mean: it fires on stalled or resetting
+	// replicas, not on ordinary variance.
+	iso, err := mkCluster(nil, true, 0)
+	if err != nil {
+		return ChaosSweepResult{}, nil, err
+	}
+	var sum time.Duration
+	for _, q := range sample {
+		r, err := iso.Search(context.Background(), q)
+		if err != nil {
+			iso.Close()
+			return ChaosSweepResult{}, nil, err
+		}
+		sum += r.Stats.Latency
+	}
+	iso.Close()
+	cleanMean := sum / time.Duration(len(sample))
+	rate := 0.5 / cleanMean.Seconds()
+	hedge := 2 * cleanMean
+
+	res := ChaosSweepResult{Rate: rate}
+	t := &Table{
+		Title: "Extension: chaos sweep (availability and tail latency vs injected fault rate)",
+		Header: []string{"fault rate", "avail", "avail (brittle)", "mean", "P99", "P99 (brittle)",
+			"retries", "hedges", "fallbacks", "failed"},
+		Notes: []string{
+			"4 shards x 2 replicas, hybrid engines; identical seeded fault plan for both columns of each row",
+			"fault mix per base rate r: kernel-launch r, transfer r, device-reset r/4 (2ms window), engine-error r/2, shard-stall r (3ms)",
+			"hardened: CPU fallback on device faults + sibling retry + circuit breakers + hedged requests",
+			"brittle: all self-healing disabled — device faults and engine errors surface as lost shards",
+			"availability = fraction of queries answered completely (neither failed nor degraded)",
+			fmt.Sprintf("offered load %.0f q/s (half the clean drain rate); hedge delay %s ms", rate, ms(hedge)),
+		},
+	}
+
+	for i, fr := range []float64{0, 0.02, 0.05, 0.10} {
+		seed := cfg.Seed*7919 + int64(i+1)
+		run := func(hardened bool) (loadsim.ClusterResult, error) {
+			var inj *fault.Injector
+			if fr > 0 {
+				inj = fault.NewInjector(chaosPlan(seed, fr))
+			}
+			cl, err := mkCluster(inj, hardened, hedge)
+			if err != nil {
+				return loadsim.ClusterResult{}, err
+			}
+			defer cl.Close()
+			return loadsim.RunCluster(cl, sample, loadsim.Spec{
+				ArrivalRate: rate, Seed: cfg.Seed + 331, TolerateFailures: true,
+			})
+		}
+		hard, err := run(true)
+		if err != nil {
+			return ChaosSweepResult{}, nil, err
+		}
+		brittle, err := run(false)
+		if err != nil {
+			return ChaosSweepResult{}, nil, err
+		}
+		p := ChaosPoint{
+			Rate:                fr,
+			Availability:        hard.Available(),
+			Mean:                hard.Latencies.Mean(),
+			P99:                 hard.Latencies.Percentile(99),
+			Retries:             hard.Retries,
+			Hedges:              hard.Hedges,
+			Fallbacks:           hard.Fallbacks,
+			Failed:              hard.Failed,
+			BrittleAvailability: brittle.Available(),
+			BrittleP99:          brittle.Latencies.Percentile(99),
+		}
+		res.Points = append(res.Points, p)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", fr*100),
+			fmt.Sprintf("%.2f%%", p.Availability*100),
+			fmt.Sprintf("%.2f%%", p.BrittleAvailability*100),
+			ms(p.Mean), ms(p.P99), ms(p.BrittleP99),
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%d", p.Hedges),
+			fmt.Sprintf("%d", p.Fallbacks),
+			fmt.Sprintf("%d", p.Failed),
+		})
+	}
+	return res, t, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -129,7 +130,7 @@ func RunShardSweep(cfg Config) (ShardSweepResult, *Table, error) {
 		}
 		var sum time.Duration
 		for _, q := range sample {
-			r, err := iso.Search(q)
+			r, err := iso.Search(context.Background(), q)
 			if err != nil {
 				iso.Close()
 				return ShardSweepResult{}, nil, err

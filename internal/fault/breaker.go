@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// Closed: traffic flows; failures are counted.
+	Closed BreakerState = iota
+	// Open: traffic is refused until the cooldown expires.
+	Open
+	// HalfOpen: a bounded number of probe requests are admitted; enough
+	// successes re-close the breaker, any failure re-opens it.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig tunes one replica's circuit breaker. The zero value
+// selects defaults (Threshold 3, Cooldown 5ms, Probes 1); Threshold < 0
+// disables the breaker entirely (Allow always true).
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker.
+	Threshold int
+	// Cooldown is how long (in the cluster's modeled time) the breaker
+	// stays Open before admitting half-open probes.
+	Cooldown time.Duration
+	// Probes is how many consecutive probe successes re-close a
+	// half-open breaker.
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Millisecond
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker over the cluster's modeled
+// timeline: "now" is a time.Duration the caller supplies (a query
+// arrival time), not the wall clock, so breaker trips and recoveries are
+// as deterministic as the workload that drives them. Safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	strikes   int // consecutive failures while Closed
+	successes int // consecutive probe successes while HalfOpen
+	openUntil time.Duration
+	trips     int64
+}
+
+// NewBreaker returns a breaker with cfg's defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Disabled reports whether the breaker is configured off.
+func (b *Breaker) Disabled() bool { return b.cfg.Threshold < 0 }
+
+// Allow reports whether a request may proceed at modeled time now. An
+// Open breaker whose cooldown has expired transitions to HalfOpen and
+// admits the probe.
+func (b *Breaker) Allow(now time.Duration) bool {
+	if b.Disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now >= b.openUntil {
+			b.state = HalfOpen
+			b.successes = 0
+			return true
+		}
+		return false
+	default: // HalfOpen: admit probes
+		return true
+	}
+}
+
+// Record reports one request outcome at modeled time now. Failures
+// accumulate toward the trip threshold (Closed) or re-open immediately
+// (HalfOpen); successes reset the strike count or, after enough probes,
+// re-close the breaker.
+func (b *Breaker) Record(now time.Duration, ok bool) {
+	if b.Disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.strikes = 0
+			return
+		}
+		b.strikes++
+		if b.strikes >= b.cfg.Threshold {
+			b.trip(now)
+		}
+	case Open:
+		// A straggler finishing after the trip; ignore.
+	case HalfOpen:
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.Probes {
+			b.state = Closed
+			b.strikes = 0
+		}
+	}
+}
+
+// trip opens the breaker. Caller holds b.mu.
+func (b *Breaker) trip(now time.Duration) {
+	b.state = Open
+	b.openUntil = now + b.cfg.Cooldown
+	b.strikes = 0
+	b.successes = 0
+	b.trips++
+}
+
+// State returns the breaker's position at modeled time now (an Open
+// breaker past its cooldown reports HalfOpen without mutating).
+func (b *Breaker) State(now time.Duration) BreakerState {
+	if b.Disabled() {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && now >= b.openUntil {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -63,11 +63,20 @@ type lane struct {
 	spans     []LaneSpan
 }
 
+// SubmitHook intercepts work-item submissions on a runtime, seeing the
+// engine class and the item's ready position on the global timeline. A
+// non-nil error fails the item before it runs or occupies any lane —
+// the fault-injection seam (internal/fault wires injected kernel-launch
+// failures, transfer errors, and device resets through it). The default
+// is nil: un-hooked runtimes pay one pointer test per submission.
+type SubmitHook func(class EngineClass, at time.Duration) error
+
 // DeviceRuntime multiplexes one simulated device among concurrent
 // queries. All methods are safe for concurrent use.
 type DeviceRuntime struct {
 	dev     *Device
 	streams int
+	hook    SubmitHook
 
 	mu      sync.Mutex
 	compute []lane
@@ -101,6 +110,16 @@ func NewRuntime(dev *Device, streams int) *DeviceRuntime {
 
 // Device returns the underlying simulated device.
 func (rt *DeviceRuntime) Device() *Device { return rt.dev }
+
+// SetSubmitHook installs (or, with nil, removes) the submission
+// interceptor. Install hooks before serving traffic: the hook field is
+// read under the runtime lock, but swapping it mid-workload makes the
+// modeled timeline depend on the swap's wall-clock timing.
+func (rt *DeviceRuntime) SetSubmitHook(h SubmitHook) {
+	rt.mu.Lock()
+	rt.hook = h
+	rt.mu.Unlock()
+}
 
 // Streams returns the number of compute lanes.
 func (rt *DeviceRuntime) Streams() int { return rt.streams }
@@ -234,6 +253,11 @@ func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
 	defer rt.mu.Unlock()
 
 	ready := h.anchor + h.s.Elapsed()
+	if rt.hook != nil {
+		if err := rt.hook(class, ready); err != nil {
+			return err
+		}
+	}
 	ln := rt.pickLane(class)
 	start := ready
 	if ln.busyUntil > start {

@@ -1,6 +1,8 @@
 package loadsim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"time"
 
@@ -12,14 +14,33 @@ import (
 type ClusterResult struct {
 	Result
 	// Degraded counts queries answered partially (shards timed out or
-	// errored).
+	// errored); Failed counts queries with no answer at all (every shard
+	// failed — only possible under chaos with TolerateFailures set, since
+	// otherwise RunCluster aborts on the first such query).
 	Degraded int
+	Failed   int
+	// Retries, Hedges, and Fallbacks total the cluster's self-healing
+	// actions across the run (sibling retries, hedged sub-queries,
+	// CPU-fallback sub-queries).
+	Retries   int
+	Hedges    int
+	Fallbacks int
 	// MaxShardMean and MergeMean decompose the mean latency into the
 	// critical-path shard and the gather-side merge, verifying the
 	// cluster's latency model under load: Latency = MaxShard + Merge for
 	// every query, so the means decompose the same way.
 	MaxShardMean time.Duration
 	MergeMean    time.Duration
+}
+
+// Available returns the fraction of queries answered completely — not
+// failed, not degraded. The chaos studies' availability metric.
+func (r ClusterResult) Available() float64 {
+	total := r.Latencies.Count() + r.Failed
+	if total == 0 {
+		return 1
+	}
+	return float64(total-r.Failed-r.Degraded) / float64(total)
 }
 
 // RunCluster drives a sharded cluster under Poisson load, the cluster
@@ -41,24 +62,35 @@ func RunCluster(cl *cluster.Cluster, queries [][]string, spec Spec) (ClusterResu
 	}
 	var t time.Duration
 	var maxShardSum, mergeSum time.Duration
+	answered := 0
 	for _, q := range queries {
 		t += time.Duration(rng.ExpFloat64() / spec.ArrivalRate * float64(time.Second))
-		r, err := cl.SearchAt(q, t)
+		r, err := cl.SearchAt(context.Background(), q, t)
 		if err != nil {
+			if spec.TolerateFailures && errors.Is(err, cluster.ErrAllShardsFailed) {
+				res.Failed++
+				continue
+			}
 			return res, err
 		}
+		answered++
 		res.Latencies.Record(r.Stats.Latency)
 		maxShardSum += r.Stats.MaxShard
 		mergeSum += r.Stats.MergeTime
 		if r.Stats.Degraded {
 			res.Degraded++
 		}
+		res.Retries += r.Stats.Retries
+		res.Hedges += r.Stats.Hedges
+		res.Fallbacks += r.Stats.Fallbacks
 		if end := t + r.Stats.Latency; end > res.Makespan {
 			res.Makespan = end
 		}
 	}
-	res.MaxShardMean = maxShardSum / time.Duration(len(queries))
-	res.MergeMean = mergeSum / time.Duration(len(queries))
+	if answered > 0 {
+		res.MaxShardMean = maxShardSum / time.Duration(answered)
+		res.MergeMean = mergeSum / time.Duration(answered)
+	}
 
 	// GPUBusy reports the busiest replica device: in a scatter-gather
 	// tier the hottest shard bounds throughput.

@@ -1,11 +1,13 @@
 package loadsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"griffin/internal/cluster"
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/workload"
 )
 
@@ -60,7 +62,7 @@ func TestRunClusterLightLoadMatchesIsolated(t *testing.T) {
 	ref := mk(4, 0)
 	want := make(map[time.Duration]bool, len(queries))
 	for _, q := range queries {
-		r, err := ref.Search(q)
+		r, err := ref.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,5 +159,84 @@ func TestRunClusterDegenerate(t *testing.T) {
 	res, err = RunCluster(cl, [][]string{{"t000001"}}, Spec{})
 	if err != nil || res.Latencies.Count() != 0 {
 		t.Fatalf("zero rate: %v, %d latencies", err, res.Latencies.Count())
+	}
+}
+
+// Chaos under load: with TolerateFailures set, all-shards-failed
+// queries count as Failed instead of aborting the run, availability
+// reflects both failures and degradations, and the self-healing
+// counters accumulate across the run.
+func TestRunClusterChaosAvailability(t *testing.T) {
+	queries, _ := clusterFixture(t)
+	queries = queries[:60]
+
+	c, err := workload.GenerateCorpus(workload.CorpusSpec{
+		NumDocs:    200_000,
+		NumTerms:   50,
+		MaxListLen: 60_000,
+		MinListLen: 200,
+		Alpha:      1.0,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkChaos := func(hardened bool) *cluster.Cluster {
+		ixs, err := workload.PartitionCorpus(c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.Config{
+			Engine:   core.Config{Mode: core.Hybrid},
+			TopK:     10,
+			Replicas: 2,
+			Fault: fault.NewInjector(fault.Plan{Seed: 11, Rules: []fault.Rule{
+				{Kind: fault.KernelLaunch, Rate: 0.2},
+				{Kind: fault.EngineError, Rate: 0.2},
+			}}),
+		}
+		if !hardened {
+			cfg.Engine.NoCPUFallback = true
+			cfg.Retries = -1
+			cfg.Breaker = fault.BreakerConfig{Threshold: -1}
+		}
+		cl, err := cluster.New(ixs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		return cl
+	}
+
+	hard, err := RunCluster(mkChaos(true), queries, Spec{
+		ArrivalRate: 50, Seed: 7, TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Fallbacks == 0 {
+		t.Fatal("20% device faults produced no CPU fallbacks")
+	}
+	if av := hard.Available(); av < 0.9 {
+		t.Fatalf("hardened availability %.3f under 20%% faults, want >= 0.9", av)
+	}
+
+	brittle, err := RunCluster(mkChaos(false), queries, Spec{
+		ArrivalRate: 50, Seed: 7, TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brittle.Failed == 0 && brittle.Degraded == 0 {
+		t.Fatal("brittle cluster absorbed every fault with self-healing off")
+	}
+	if brittle.Available() >= hard.Available() {
+		t.Fatalf("brittle availability %.3f not below hardened %.3f",
+			brittle.Available(), hard.Available())
+	}
+	// The recorder only holds answered queries: counts stay consistent.
+	if hard.Latencies.Count()+hard.Failed != len(queries) {
+		t.Fatalf("answered %d + failed %d != %d queries",
+			hard.Latencies.Count(), hard.Failed, len(queries))
 	}
 }

@@ -107,6 +107,11 @@ type Spec struct {
 	ArrivalRate float64
 	// Seed drives arrival-time generation.
 	Seed int64
+	// TolerateFailures makes RunCluster treat an all-shards-failed query
+	// as a counted failure (ClusterResult.Failed) instead of aborting the
+	// run — the chaos-mode setting, where injected faults are expected to
+	// kill some queries outright.
+	TolerateFailures bool
 }
 
 // Result aggregates a simulation run.

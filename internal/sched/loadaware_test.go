@@ -3,6 +3,9 @@ package sched
 import (
 	"testing"
 	"time"
+
+	"griffin/internal/fault"
+	"griffin/internal/gpu"
 )
 
 // fakeBacklog is a settable DeviceBacklog.
@@ -90,5 +93,62 @@ func TestLoadAwareFresh(t *testing.T) {
 	d := (&LoadAwarePolicy{}).Decide(100, 200)
 	if d.Where != GPU {
 		t.Fatalf("default inner: got %v, want GPU", d.Where)
+	}
+}
+
+// resetBacklog folds a device's remaining fault-injected reset window
+// into the backlog signal, the composition the cluster router uses for
+// replica selection: a device that is mid-reset has an empty queue but
+// is still unavailable for the rest of its outage window.
+type resetBacklog struct {
+	inj  *fault.Injector
+	site string
+	now  time.Duration
+}
+
+func (b *resetBacklog) PendingTime() time.Duration {
+	return b.inj.ResetRemaining(b.site, b.now)
+}
+
+// TestLoadAwareSpillsDuringDeviceReset pins the mid-reset behavior: a
+// backlog view that surfaces the reset window makes the load-aware
+// policy spill GPU placements to the CPU for exactly the window's
+// duration, then return to the device once it recovers.
+func TestLoadAwareSpillsDuringDeviceReset(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 2, Rules: []fault.Rule{
+		{Kind: fault.DeviceReset, Rate: 1, Until: 1, Stall: 4 * time.Millisecond},
+	}})
+	// Fire the reset: the site's first submission opens a 4ms window.
+	if err := inj.DeviceHook("s0r0")(gpu.ComputeEngine, time.Millisecond); !fault.IsDeviceFault(err) {
+		t.Fatalf("reset did not fire: %v", err)
+	}
+
+	bl := &resetBacklog{inj: inj, site: "s0r0", now: 2 * time.Millisecond}
+	p := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: bl, Threshold: time.Millisecond}
+
+	// Mid-window (3ms remaining > 1ms threshold): ratio-2 work that the
+	// inner policy places on the GPU spills to the CPU.
+	if d := p.Decide(100, 200); d.Where != CPU {
+		t.Fatalf("mid-reset placement: got %v, want CPU spill", d.Where)
+	}
+	if p.Spilled != 1 {
+		t.Fatalf("mid-reset spill not counted: %d", p.Spilled)
+	}
+
+	// An un-faulted sibling at the same instant keeps its GPU placement.
+	sibling := &LoadAwarePolicy{Inner: NewRatioPolicy(), Backlog: &resetBacklog{
+		inj: inj, site: "s0r1", now: 2 * time.Millisecond,
+	}, Threshold: time.Millisecond}
+	if d := sibling.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("healthy sibling: got %v, want GPU", d.Where)
+	}
+
+	// Past the window the device is back: placements return to the GPU.
+	bl.now = 6 * time.Millisecond
+	if d := p.Decide(100, 200); d.Where != GPU {
+		t.Fatalf("post-reset placement: got %v, want GPU", d.Where)
+	}
+	if p.Spilled != 1 {
+		t.Fatalf("post-reset decision counted a spill: %d", p.Spilled)
 	}
 }

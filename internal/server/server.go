@@ -23,8 +23,8 @@ import (
 
 // Server routes search traffic to an engine or a cluster.
 type Server struct {
-	engine  *core.Engine      // single-node backend (nil in cluster mode)
-	cluster *cluster.Cluster  // sharded backend (nil in single-node mode)
+	engine  *core.Engine     // single-node backend (nil in cluster mode)
+	cluster *cluster.Cluster // sharded backend (nil in single-node mode)
 	mux     *http.ServeMux
 
 	queries  atomic.Int64
@@ -72,6 +72,11 @@ type SearchResponse struct {
 	// failing the query.
 	Degraded      bool  `json:"degraded,omitempty"`
 	MissingShards []int `json:"missing_shards,omitempty"`
+	// Retries, Hedges, and Fallbacks total the cluster's self-healing
+	// actions for this query.
+	Retries   int `json:"retries,omitempty"`
+	Hedges    int `json:"hedges,omitempty"`
+	Fallbacks int `json:"fallbacks,omitempty"`
 	// Plan is the executed physical query plan, present when the request
 	// set trace=1 on a single-engine server.
 	Plan []PlanOpJSON `json:"plan,omitempty"`
@@ -104,6 +109,15 @@ type ShardTraceJSON struct {
 	Migrated   bool    `json:"migrated"`
 	TimedOut   bool    `json:"timed_out,omitempty"`
 	Error      string  `json:"error,omitempty"`
+	// Self-healing path: sibling retries taken, hedge dispatched/won,
+	// CPU fallback served the sub-query (with the injected fault that
+	// caused it), and the shard's effective critical-path latency.
+	Retries     int     `json:"retries,omitempty"`
+	Hedged      bool    `json:"hedged,omitempty"`
+	HedgeWon    bool    `json:"hedge_won,omitempty"`
+	FallbackCPU bool    `json:"fallback_cpu,omitempty"`
+	Fault       string  `json:"fault,omitempty"`
+	EffectiveMS float64 `json:"effective_ms,omitempty"`
 }
 
 // HitJSON is one ranked result.
@@ -138,11 +152,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	trace := r.URL.Query().Get("trace") == "1"
 
 	if s.cluster != nil {
-		s.searchCluster(w, terms, k, trace)
+		s.searchCluster(w, r, terms, k, trace)
 		return
 	}
 
-	res, err := s.engine.Search(terms)
+	res, err := s.engine.SearchContext(r.Context(), terms)
 	if err != nil {
 		s.errors.Add(1)
 		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
@@ -184,9 +198,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// searchCluster serves one scatter-gather request.
-func (s *Server) searchCluster(w http.ResponseWriter, terms []string, k int, trace bool) {
-	res, err := s.cluster.Search(terms)
+// searchCluster serves one scatter-gather request. The request context
+// rides through to the shard sub-queries: a client that disconnects
+// cancels the stragglers at their next plan-operator boundary.
+func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []string, k int, trace bool) {
+	res, err := s.cluster.Search(r.Context(), terms)
 	if err != nil {
 		s.errors.Add(1)
 		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
@@ -216,6 +232,9 @@ func (s *Server) searchCluster(w http.ResponseWriter, terms []string, k int, tra
 		Results:       make([]HitJSON, len(hits)),
 		Degraded:      res.Stats.Degraded,
 		MissingShards: res.Stats.Missing,
+		Retries:       res.Stats.Retries,
+		Hedges:        res.Stats.Hedges,
+		Fallbacks:     res.Stats.Fallbacks,
 	}
 	for i, h := range hits {
 		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
@@ -225,30 +244,69 @@ func (s *Server) searchCluster(w http.ResponseWriter, terms []string, k int, tra
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		for i, ss := range res.Stats.Shards {
 			resp.Shards[i] = ShardTraceJSON{
-				Shard:      ss.Shard,
-				Replica:    ss.Replica,
-				LatencyMS:  ms(ss.Query.Latency),
-				Candidates: ss.Query.Candidates,
-				GPUWaitMS:  ms(ss.Query.GPUWait),
-				Migrated:   ss.Query.Migrated,
-				TimedOut:   ss.TimedOut,
-				Error:      ss.Err,
+				Shard:       ss.Shard,
+				Replica:     ss.Replica,
+				LatencyMS:   ms(ss.Query.Latency),
+				Candidates:  ss.Query.Candidates,
+				GPUWaitMS:   ms(ss.Query.GPUWait),
+				Migrated:    ss.Query.Migrated,
+				TimedOut:    ss.TimedOut,
+				Error:       ss.Err,
+				Retries:     ss.Retries,
+				Hedged:      ss.Hedged,
+				HedgeWon:    ss.HedgeWon,
+				FallbackCPU: ss.Query.FallbackCPU,
+				Fault:       ss.Query.Fault,
+				EffectiveMS: ms(ss.Effective),
 			}
 		}
 	}
 	writeJSON(w, resp)
 }
 
-// handleHealth serves GET /healthz.
+// ShardHealthJSON is one shard's reachability row in /healthz.
+type ShardHealthJSON struct {
+	Shard int `json:"shard"`
+	// Reachable reports at least one replica's breaker admits traffic;
+	// OpenBreakers counts replicas currently refusing it.
+	Reachable    bool `json:"reachable"`
+	OpenBreakers int  `json:"open_breakers,omitempty"`
+}
+
+// handleHealth serves GET /healthz. In cluster mode the status reflects
+// breaker-level degradation: "ok" when every shard is reachable,
+// "degraded" when some are not, and a 503 with status "unhealthy" when a
+// majority of shards have every replica's breaker open — the cluster can
+// no longer answer most of the corpus.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
-		writeJSON(w, map[string]any{
-			"status":   "ok",
-			"docs":     s.cluster.NumDocs(),
-			"mode":     s.cluster.Mode().String(),
-			"shards":   s.cluster.NumShards(),
-			"replicas": s.cluster.Replicas(),
-			"routing":  s.cluster.RoutingPolicy().String(),
+		h := s.cluster.Health()
+		status := "ok"
+		code := http.StatusOK
+		switch {
+		case !h.Healthy:
+			status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		case h.Unreachable > 0:
+			status = "degraded"
+		}
+		shards := make([]ShardHealthJSON, len(h.Shards))
+		for i, sh := range h.Shards {
+			shards[i] = ShardHealthJSON{Shard: sh.Shard, Reachable: sh.Reachable, OpenBreakers: sh.Open}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"status":             status,
+			"docs":               s.cluster.NumDocs(),
+			"mode":               s.cluster.Mode().String(),
+			"shards":             s.cluster.NumShards(),
+			"replicas":           s.cluster.Replicas(),
+			"routing":            s.cluster.RoutingPolicy().String(),
+			"unreachable_shards": h.Unreachable,
+			"shard_health":       shards,
 		})
 		return
 	}
@@ -277,7 +335,39 @@ type StatsResponse struct {
 	// one telemetry row per shard replica. Both are cluster-mode only.
 	Degraded int64            `json:"degraded_queries,omitempty"`
 	Shards   []ShardStatsJSON `json:"shards,omitempty"`
+	// SelfHeal is the cluster's self-healing counter snapshot (cluster
+	// mode only).
+	SelfHeal *SelfHealJSON `json:"self_heal,omitempty"`
+	// FaultCounts and Faults surface the injected-fault log when the
+	// cluster runs with a fault plan: per-kind totals and the most
+	// recent injected events (capped).
+	FaultCounts map[string]int64 `json:"fault_counts,omitempty"`
+	Faults      []FaultEventJSON `json:"faults,omitempty"`
 }
+
+// SelfHealJSON reports the cluster's lifetime self-healing counters.
+type SelfHealJSON struct {
+	Queries        int64 `json:"queries"`
+	Degraded       int64 `json:"degraded"`
+	Failed         int64 `json:"failed"`
+	Retries        int64 `json:"retries"`
+	Hedges         int64 `json:"hedges"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	Fallbacks      int64 `json:"fallbacks"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	InjectedFaults int64 `json:"injected_faults"`
+}
+
+// FaultEventJSON is one injected fault in the /statz log.
+type FaultEventJSON struct {
+	Site string  `json:"site"`
+	Seq  int64   `json:"seq"`
+	Kind string  `json:"kind"`
+	AtMS float64 `json:"at_ms"`
+}
+
+// faultLogCap bounds the /statz injected-fault log.
+const faultLogCap = 100
 
 // CacheStatsJSON reports the resident-list cache counters.
 type CacheStatsJSON struct {
@@ -305,11 +395,15 @@ type DeviceStatsJSON struct {
 
 // ShardStatsJSON is one shard replica's telemetry row.
 type ShardStatsJSON struct {
-	Shard   int              `json:"shard"`
-	Replica int              `json:"replica"`
-	Queries int64            `json:"queries"`
-	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
-	Device  *DeviceStatsJSON `json:"device,omitempty"`
+	Shard   int   `json:"shard"`
+	Replica int   `json:"replica"`
+	Queries int64 `json:"queries"`
+	// Breaker is the replica's circuit-breaker state ("closed", "open",
+	// "half-open"); BreakerTrips counts its openings.
+	Breaker      string           `json:"breaker,omitempty"`
+	BreakerTrips int64            `json:"breaker_trips,omitempty"`
+	Cache        *CacheStatsJSON  `json:"cache,omitempty"`
+	Device       *DeviceStatsJSON `json:"device,omitempty"`
 }
 
 func cacheJSON(st core.CacheStats) *CacheStatsJSON {
@@ -338,10 +432,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 	if s.cluster != nil {
 		resp.Degraded = s.degraded.Load()
+		sh := s.cluster.SelfHeal()
+		resp.SelfHeal = &SelfHealJSON{
+			Queries:        sh.Queries,
+			Degraded:       sh.Degraded,
+			Failed:         sh.Failed,
+			Retries:        sh.Retries,
+			Hedges:         sh.Hedges,
+			HedgeWins:      sh.HedgeWins,
+			Fallbacks:      sh.Fallbacks,
+			BreakerTrips:   sh.BreakerTrips,
+			InjectedFaults: sh.InjectedFaults,
+		}
+		if inj := s.cluster.Injector(); inj != nil {
+			resp.FaultCounts = inj.Counts()
+			log := inj.Log()
+			if len(log) > faultLogCap {
+				log = log[len(log)-faultLogCap:]
+			}
+			for _, ev := range log {
+				resp.Faults = append(resp.Faults, FaultEventJSON{
+					Site: ev.Site,
+					Seq:  ev.Seq,
+					Kind: ev.Kind.String(),
+					AtMS: ms(ev.At),
+				})
+			}
+		}
 		agg := core.CacheStats{}
 		caching := false
 		for _, row := range s.cluster.Telemetry() {
-			sr := ShardStatsJSON{Shard: row.Shard, Replica: row.Replica, Queries: row.Queries}
+			sr := ShardStatsJSON{
+				Shard: row.Shard, Replica: row.Replica, Queries: row.Queries,
+				Breaker: row.Breaker, BreakerTrips: row.BreakerTrips,
+			}
 			if row.Cache != (core.CacheStats{}) {
 				caching = true
 				sr.Cache = cacheJSON(row.Cache)

@@ -10,6 +10,7 @@ import (
 
 	"griffin/internal/cluster"
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
@@ -501,5 +502,167 @@ func TestStatsCacheCounters(t *testing.T) {
 	}
 	if st.Cache != nil {
 		t.Fatalf("non-caching engine reports cache counters: %+v", st.Cache)
+	}
+}
+
+// newChaosClusterServer builds a cluster server with a caller-supplied
+// cluster config (fault plan, breakers, replication) over the tiny test
+// corpus.
+func newChaosClusterServer(t *testing.T, shards int, cfg cluster.Config) *Server {
+	t.Helper()
+	ixs, err := workload.PartitionIndex(testIndex(t), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(ixs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return NewCluster(cl)
+}
+
+// /healthz must flip to 503 "unhealthy" when a majority of shards have
+// every replica's breaker open, and report the per-shard breaker rows.
+func TestClusterHealthzUnhealthy503(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Kind: fault.EngineError, Rate: 1},
+	}})
+	srv := newChaosClusterServer(t, 2, cluster.Config{
+		Engine:   core.Config{Mode: core.CPUOnly},
+		TopK:     10,
+		Replicas: 1,
+		Fault:    inj,
+		Breaker:  fault.BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond},
+	})
+
+	// Every sub-query fails; three strikes trip each shard's only
+	// replica. The searches themselves come back as 500s.
+	for i := 0; i < 3; i++ {
+		if rec, _ := get(t, srv, "/search?q=quick+fox"); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("failing search %d: status %d, want 500", i, rec.Code)
+		}
+	}
+
+	rec, body := get(t, srv, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d, want 503: %s", rec.Code, body)
+	}
+	var health struct {
+		Status      string            `json:"status"`
+		Unreachable int               `json:"unreachable_shards"`
+		Shards      []ShardHealthJSON `json:"shard_health"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "unhealthy" || health.Unreachable != 2 {
+		t.Fatalf("health = %+v, want unhealthy with 2 unreachable shards", health)
+	}
+	if len(health.Shards) != 2 {
+		t.Fatalf("%d shard rows, want 2", len(health.Shards))
+	}
+	for _, sh := range health.Shards {
+		if sh.Reachable || sh.OpenBreakers != 1 {
+			t.Fatalf("shard %d row %+v, want unreachable with 1 open breaker", sh.Shard, sh)
+		}
+	}
+
+	// /statz reflects the same story: failures and breaker trips.
+	_, body = get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SelfHeal == nil || st.SelfHeal.Failed != 3 || st.SelfHeal.BreakerTrips != 2 {
+		t.Fatalf("self-heal snapshot %+v, want 3 failed queries and 2 breaker trips", st.SelfHeal)
+	}
+	open := 0
+	for _, row := range st.Shards {
+		if row.Breaker == "open" {
+			open++
+		}
+	}
+	if open != 2 {
+		t.Fatalf("%d open breakers in /statz rows, want 2", open)
+	}
+}
+
+// /statz surfaces the self-healing counters, the per-kind fault totals,
+// and the capped injected-fault log; per-query traces carry the
+// CPU-fallback markers.
+func TestClusterStatzChaosSurface(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 9, Rules: []fault.Rule{
+		{Kind: fault.KernelLaunch, Rate: 1}, // every device query falls back to CPU
+	}})
+	srv := newChaosClusterServer(t, 2, cluster.Config{
+		Engine:   core.Config{Mode: core.Hybrid, CacheLists: true},
+		TopK:     10,
+		Replicas: 1,
+		Fault:    inj,
+		Breaker:  fault.BreakerConfig{Threshold: -1},
+	})
+
+	rec, body := get(t, srv, "/search?q=quick+fox&trace=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fallbacks == 0 {
+		t.Fatalf("response reports no CPU fallbacks: %+v", resp)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("fallback query returned no results")
+	}
+	fellBack := false
+	for _, ss := range resp.Shards {
+		if ss.FallbackCPU {
+			fellBack = true
+			if ss.Fault == "" {
+				t.Fatalf("fallback shard row missing its fault cause: %+v", ss)
+			}
+		}
+		if ss.EffectiveMS <= 0 {
+			t.Fatalf("shard row missing effective latency: %+v", ss)
+		}
+	}
+	if !fellBack {
+		t.Fatalf("no shard trace row marked fallback_cpu: %+v", resp.Shards)
+	}
+
+	_, body = get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SelfHeal == nil {
+		t.Fatal("cluster /statz missing self_heal")
+	}
+	if st.SelfHeal.Fallbacks == 0 || st.SelfHeal.InjectedFaults == 0 {
+		t.Fatalf("self-heal counters did not move: %+v", st.SelfHeal)
+	}
+	if st.FaultCounts["kernel-launch"] == 0 {
+		t.Fatalf("fault_counts missing kernel-launch: %v", st.FaultCounts)
+	}
+	if len(st.Faults) == 0 || len(st.Faults) > 100 {
+		t.Fatalf("fault log has %d events, want 1..100", len(st.Faults))
+	}
+	for _, ev := range st.Faults {
+		if ev.Site == "" || ev.Kind == "" {
+			t.Fatalf("malformed fault event: %+v", ev)
+		}
+	}
+
+	// A fault-free cluster server omits the whole chaos surface.
+	_, body = get(t, newTestClusterServer(t, 2, 1, 0), "/statz")
+	st = StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FaultCounts != nil || st.Faults != nil {
+		t.Fatalf("un-faulted cluster reports fault telemetry: %v %v", st.FaultCounts, st.Faults)
 	}
 }
