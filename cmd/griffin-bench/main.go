@@ -25,10 +25,16 @@ import (
 	"griffin/internal/workload"
 )
 
+// experimentNames are the valid -only keys, in run order.
+var experimentNames = []string{
+	"table1", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "chaos",
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1.0 = full)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
-	only := flag.String("only", "", "comma-separated experiment list (default: all): table1,fig7,fig8,fig10,fig11,fig12,fig13,fig14,fig15,ablation,load,cache,cluster,chaos")
+	only := flag.String("only", "", "comma-separated experiment list (default: all): "+strings.Join(experimentNames, ","))
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "also write all tables as one JSON document to this path")
 	flag.Parse()
@@ -43,10 +49,25 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 
+	// Unknown -only keys fail fast: a typo like "clsuter" used to be
+	// silently ignored, running everything but the experiment asked for.
+	valid := map[string]bool{}
+	for _, k := range experimentNames {
+		valid[k] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			if !valid[k] {
+				fmt.Fprintf(os.Stderr, "griffin-bench: unknown experiment %q in -only (valid: %s)\n",
+					k, strings.Join(experimentNames, ", "))
+				os.Exit(2)
+			}
+			want[k] = true
 		}
 	}
 	run := func(name string) bool { return len(want) == 0 || want[name] }
@@ -165,6 +186,13 @@ func main() {
 		_, tc, err := experiments.RunShardSweep(cfg)
 		exitOn(err)
 		emit(tc)
+	}
+
+	if run("device") {
+		fmt.Println("sweeping multi-GPU node device counts...")
+		_, td, err := experiments.RunDeviceSweep(cfg)
+		exitOn(err)
+		emit(td)
 	}
 
 	if run("chaos") {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	griffin-server -index index.grif -addr :8080 -mode griffin -cache
+//	griffin-server -index index.grif -devices 4 -placement affinity -cache
 //	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
 //	griffin-server -index index.grif -shards 4 -replicas 2 -chaos-rate 0.05 -hedge-delay 2ms
 //
@@ -12,6 +13,12 @@
 // shards (global BM25 statistics preserved, so results are identical to
 // single-node serving), each shard runs -replicas engines with private
 // simulated devices, and every query scatter-gathers across the shards.
+//
+// With -devices N > 1 every engine (single-node or each cluster replica)
+// runs a simulated multi-GPU node: queries are placed on one of N devices
+// by the -placement policy, per-device list caches pull hot lists over
+// the modeled peer interconnect, and /statz grows per-device telemetry.
+// At -devices 1 behavior and output are identical to older builds.
 //
 // Cluster serving self-heals: failed sub-queries retry on sibling
 // replicas, device faults fall back to CPU-only plans, per-replica
@@ -49,6 +56,7 @@ import (
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
+	"griffin/internal/sched"
 	"griffin/internal/server"
 	"griffin/internal/workload"
 )
@@ -58,6 +66,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modeName := flag.String("mode", "griffin", "execution mode: cpu, gpu, perquery, or griffin")
 	cache := flag.Bool("cache", false, "keep hot compressed lists resident in device memory")
+	devices := flag.Int("devices", 1, "simulated GPUs per node; > 1 places each query on one device of a multi-GPU node")
+	placementName := flag.String("placement", "affinity", "device placement at -devices > 1: affinity, least-backlog, or round-robin")
 	topK := flag.Int("k", 10, "default result count")
 	shards := flag.Int("shards", 1, "document partitions; > 1 serves scatter-gather over a sharded cluster")
 	replicas := flag.Int("replicas", 1, "engine replicas per shard (cluster mode)")
@@ -89,6 +99,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: unknown routing %q\n", *routingName)
 		os.Exit(2)
 	}
+	if *devices < 1 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -devices must be >= 1, got %d\n", *devices)
+		os.Exit(2)
+	}
+	placement := sched.PlacementByName(*placementName)
+	if placement == nil {
+		fmt.Fprintf(os.Stderr, "griffin-server: unknown placement %q (want affinity, least-backlog, or round-robin)\n", *placementName)
+		os.Exit(2)
+	}
 
 	f, err := os.Open(*indexPath)
 	exitOn(err)
@@ -111,7 +130,7 @@ func main() {
 			}})
 		}
 		cl, err := cluster.New(ixs, cluster.Config{
-			Engine:       core.Config{Mode: mode, CacheLists: *cache},
+			Engine:       core.Config{Mode: mode, CacheLists: *cache, Devices: *devices, Placement: placement},
 			TopK:         *topK,
 			Replicas:     *replicas,
 			Routing:      routing,
@@ -134,12 +153,17 @@ func main() {
 		dev := gpu.New(hwmodel.DefaultGPU(), 0)
 		engine, err := core.New(ix, core.Config{
 			Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
+			Devices: *devices, Placement: placement,
 		})
 		exitOn(err)
 		defer engine.Close()
 		handler = server.New(engine)
-		log.Printf("griffin-server: %d docs, %d terms, mode=%s, listening on %s",
-			ix.NumDocs, ix.NumTerms(), mode, *addr)
+		devs := ""
+		if *devices > 1 {
+			devs = fmt.Sprintf(", %d devices (%s placement)", *devices, *placementName)
+		}
+		log.Printf("griffin-server: %d docs, %d terms, mode=%s%s, listening on %s",
+			ix.NumDocs, ix.NumTerms(), mode, devs, *addr)
 	}
 
 	exitOn(serve(*addr, handler, *drain))

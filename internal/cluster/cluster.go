@@ -57,8 +57,13 @@ type Config struct {
 	// Engine is the per-replica engine template. Device and Runtime are
 	// ignored: every replica gets a private device (its own DeviceModel
 	// instance) and builds its own runtime from Engine.Streams, because a
-	// shard *is* a device in this layer. Engine.TopK is overridden by
-	// TopK so shard selections cover the cluster result size.
+	// shard *is* a serving node in this layer. Engine.Devices and
+	// Engine.Placement pass through, so replicas can be multi-GPU nodes:
+	// a replica is then a (node, device-set) pair — the router picks the
+	// replica, the engine's placement policy picks the device — and the
+	// fault injector names each device's site "s<shard>r<replica>.g<dev>".
+	// Engine.TopK is overridden by TopK so shard selections cover the
+	// cluster result size.
 	Engine core.Config
 	// TopK is the cluster result count (0 = 10).
 	TopK int
@@ -170,8 +175,15 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 				inj:     cfg.Fault,
 			}
 			if cfg.Fault != nil {
-				if rt := eng.Runtime(); rt != nil {
-					rt.SetSubmitHook(cfg.Fault.DeviceHook(site))
+				if node := eng.Node(); node != nil {
+					// One hook per device, each at its own site name
+					// (fault.DeviceSite keeps the bare replica site on
+					// single-device nodes, preserving seeded fault streams),
+					// so injected faults are attributable to the device
+					// they hit.
+					for d := 0; d < node.Devices(); d++ {
+						node.SetSubmitHook(d, cfg.Fault.DeviceHook(fault.DeviceSite(site, d, node.Devices())))
+					}
 				}
 			}
 			g.replicas = append(g.replicas, rep)
@@ -552,10 +564,14 @@ type ShardTelemetry struct {
 	// counts how many times it has opened.
 	Breaker      string
 	BreakerTrips int64
-	// Device is the replica's device-runtime snapshot (nil for CPU-only
-	// engines).
+	// Device is device 0's runtime snapshot (nil for CPU-only engines) —
+	// the single-device view, preserved for existing consumers.
 	Device *gpu.RuntimeStats
-	// Cache is the replica's resident-list cache counters.
+	// Devices has one runtime snapshot per node device, in device order,
+	// when the replica's node has more than one GPU (nil otherwise).
+	Devices []gpu.RuntimeStats
+	// Cache is the replica's resident-list cache counters, aggregated
+	// across the node's devices.
 	Cache core.CacheStats
 }
 
@@ -581,9 +597,12 @@ func (c *Cluster) Telemetry() []ShardTelemetry {
 				BreakerTrips: rep.breaker.Trips(),
 				Cache:        rep.engine.CacheStats(),
 			}
-			if rt := rep.engine.Runtime(); rt != nil {
-				st := rt.Stats()
+			if node := rep.engine.Node(); node != nil {
+				st := node.Runtime(0).Stats()
 				t.Device = &st
+				if node.Devices() > 1 {
+					t.Devices = node.Stats().Devices
+				}
 			}
 			out = append(out, t)
 		}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"griffin/internal/core"
+	"griffin/internal/fault"
+	"griffin/internal/sched"
+)
+
+// Multi-device replicas compose with the cluster layer: results stay
+// bit-identical to single-device replicas, telemetry grows per-device
+// snapshots, and injected faults land on per-device sites.
+func TestClusterMultiDeviceReplicas(t *testing.T) {
+	c := parityCorpus(t)
+	queries := parityQueries(c, 60)
+
+	single := buildCluster(t, c, 2, Config{
+		Engine: core.Config{Mode: core.Hybrid}, TopK: 10,
+	})
+	multi := buildCluster(t, c, 2, Config{
+		Engine: core.Config{Mode: core.Hybrid, Devices: 2, Placement: &sched.RoundRobinDevices{}},
+		TopK:   10,
+	})
+	defer single.Close()
+	defer multi.Close()
+
+	for i, q := range queries {
+		want, err := single.Search(context.Background(), q.Terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := multi.Search(context.Background(), q.Terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Docs) != len(want.Docs) {
+			t.Fatalf("query %d %v: %d docs != %d", i, q.Terms, len(got.Docs), len(want.Docs))
+		}
+		for j := range want.Docs {
+			if got.Docs[j] != want.Docs[j] {
+				t.Fatalf("query %d %v: doc[%d] %+v != %+v", i, q.Terms, j, got.Docs[j], want.Docs[j])
+			}
+		}
+	}
+
+	for _, tl := range multi.Telemetry() {
+		if tl.Device == nil {
+			t.Fatalf("replica %s: no device snapshot", tl.Site)
+		}
+		if len(tl.Devices) != 2 {
+			t.Fatalf("replica %s: %d device snapshots, want 2", tl.Site, len(tl.Devices))
+		}
+		var admitted int64
+		for _, d := range tl.Devices {
+			admitted += d.Admitted
+		}
+		if admitted == 0 {
+			t.Fatalf("replica %s served queries but admitted none on any device", tl.Site)
+		}
+	}
+	for _, tl := range single.Telemetry() {
+		if tl.Devices != nil {
+			t.Fatalf("single-device replica %s grew per-device snapshots", tl.Site)
+		}
+	}
+}
+
+// Injected device faults on multi-device replicas are attributed to
+// per-device sites ("s<shard>r<replica>.g<dev>"), while single-device
+// clusters keep the bare replica site names (so their seeded fault
+// streams are unchanged by the node refactor).
+func TestClusterPerDeviceFaultSites(t *testing.T) {
+	c := parityCorpus(t)
+	queries := parityQueries(c, 80)
+
+	run := func(devices int) map[string]int64 {
+		inj := fault.NewInjector(fault.Plan{Seed: 5, Rules: []fault.Rule{
+			{Kind: fault.KernelLaunch, Rate: 0.05},
+		}})
+		cl := buildCluster(t, c, 2, Config{
+			Engine: core.Config{Mode: core.Hybrid, Devices: devices, Placement: &sched.RoundRobinDevices{}},
+			TopK:   10,
+			Fault:  inj,
+		})
+		defer cl.Close()
+		for _, q := range queries {
+			if _, err := cl.Search(context.Background(), q.Terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inj.Total() == 0 {
+			t.Fatal("fault plan fired nothing")
+		}
+		return inj.SiteCounts()
+	}
+
+	for site := range run(1) {
+		if strings.Contains(site, ".g") {
+			t.Fatalf("single-device cluster used device-suffixed site %q", site)
+		}
+	}
+	multiSites := run(2)
+	perDevice := 0
+	for site := range multiSites {
+		if !strings.Contains(site, ".g") {
+			t.Fatalf("multi-device cluster used bare site %q", site)
+		}
+		perDevice++
+	}
+	if perDevice < 2 {
+		t.Fatalf("faults landed on %d device sites: %v", perDevice, multiSites)
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"griffin/internal/core"
 	"griffin/internal/fault"
-	"griffin/internal/sched"
 )
 
 // Routing selects how a shard group picks the replica for one sub-query.
@@ -55,20 +54,28 @@ type replica struct {
 	served   atomic.Int64
 }
 
-// backlog returns the replica's routing signal: the device's pending
-// compute time (sched.DeviceBacklog) plus any remaining injected reset
-// window, or zero for CPU-only replicas.
+// backlog returns the replica's routing signal: the least-loaded
+// device's pending compute time (the node-level sched.DeviceBacklog
+// view) plus that device's remaining injected reset window, or zero for
+// CPU-only replicas. A multi-device replica is as attractive as its best
+// device — a new sub-query would be placed there — and each device's
+// reset window is charged at its own fault site, so one resetting GPU of
+// a node does not poison routing to its healthy siblings.
 func (r *replica) backlog(now time.Duration) time.Duration {
-	var b time.Duration
-	var dv sched.DeviceBacklog
-	if rt := r.engine.Runtime(); rt != nil {
-		dv = rt
+	node := r.engine.Node()
+	if node == nil {
+		return r.inj.ResetRemaining(r.site, now)
 	}
-	if dv != nil {
-		b = dv.PendingTime()
+	devices := node.Devices()
+	var best time.Duration
+	for d := 0; d < devices; d++ {
+		var b time.Duration = node.Runtime(d).PendingTime()
+		b += r.inj.ResetRemaining(fault.DeviceSite(r.site, d, devices), now)
+		if d == 0 || b < best {
+			best = b
+		}
 	}
-	b += r.inj.ResetRemaining(r.site, now)
-	return b
+	return best
 }
 
 // search runs one sub-query, tracking in-flight and served counters for

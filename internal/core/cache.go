@@ -31,9 +31,12 @@ type listCache struct {
 	// hits/misses/evictions are lifetime counters (served by /statz):
 	// a hit is a get that skipped the PCIe upload, a miss a get that will
 	// pay it, an eviction one entry displaced by capacity pressure.
-	hits      int64
-	misses    int64
-	evictions int64
+	// peerCopies counts misses that were filled over the inter-device
+	// interconnect from a sibling device's cache (multi-GPU nodes only).
+	hits       int64
+	misses     int64
+	evictions  int64
+	peerCopies int64
 }
 
 type cacheEntry struct {
@@ -67,6 +70,24 @@ func (c *listCache) get(term string) (*gpu.Buffer, func(), bool) {
 	e := el.Value.(*cacheEntry)
 	e.refs++
 	return e.buf, func() { c.release(e) }, true
+}
+
+// contains reports whether term is resident without perturbing the LRU
+// order or the hit/miss counters — the placement layer's residency probe
+// (affinity savings are estimated per candidate device before a query is
+// placed; only the chosen device's cache then takes the real get).
+func (c *listCache) contains(term string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[term]
+	return ok
+}
+
+// notePeerCopy counts one miss filled over the peer interconnect.
+func (c *listCache) notePeerCopy() {
+	c.mu.Lock()
+	c.peerCopies++
+	c.mu.Unlock()
 }
 
 // release drops one reference; a dead (evicted) entry frees its device
@@ -147,11 +168,12 @@ func (c *listCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Lists:     len(c.entries),
-		Bytes:     c.used,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Lists:      len(c.entries),
+		Bytes:      c.used,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		PeerCopies: c.peerCopies,
 	}
 }
 
@@ -166,4 +188,19 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// PeerCopies counts misses filled from a sibling device's cache over
+	// the inter-device interconnect instead of the host PCIe path (always
+	// zero on single-device nodes).
+	PeerCopies int64
+}
+
+// Add accumulates another snapshot (per-device caches aggregate into one
+// engine-level view; cluster telemetry aggregates across replicas).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Lists += o.Lists
+	s.Bytes += o.Bytes
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.PeerCopies += o.PeerCopies
 }

@@ -86,16 +86,29 @@ type Config struct {
 	TopK int
 	// CPU prices host work; the zero value means hwmodel.DefaultCPU().
 	CPU hwmodel.CPUModel
-	// Device is the simulated GPU; required unless Mode == CPUOnly.
+	// Device is the simulated GPU; required unless Mode == CPUOnly. On a
+	// multi-device node (Devices > 1) it is device 0 and the template the
+	// siblings are cloned from.
 	Device *gpu.Device
+	// Devices is the node's simulated GPU count (0 or 1 = a single
+	// device, byte-identical to the pre-node engine). Devices 1..N-1 are
+	// clones of Device with private memory and independent timelines;
+	// each query is placed on one of them by Placement before admission.
+	Devices int
+	// Placement picks the device for each query when Devices > 1; nil
+	// means sched.AffinityDevices (backlog minus resident-list savings).
+	// Ignored on single-device nodes, where every query runs on device 0
+	// without consulting any policy.
+	Placement sched.DevicePlacement
 	// Runtime shares the device among engines; nil means the engine
-	// builds its own gpu.DeviceRuntime over Device. All queries of an
-	// engine — Search, SearchBatch, warmup — go through one runtime, so
-	// concurrent queries contend for the modeled device and are charged
-	// queueing delay (Stats.GPUWait) when it is busy.
+	// builds its own runtime over Device. All queries of an engine —
+	// Search, SearchBatch, warmup — go through the node's runtimes, so
+	// concurrent queries contend for the modeled devices and are charged
+	// queueing delay (Stats.GPUWait) when they are busy. A caller-built
+	// Runtime becomes the node's only device (Devices is ignored).
 	Runtime *gpu.DeviceRuntime
-	// Streams bounds the runtime's simulated compute lanes when the
-	// engine builds its own runtime (0 = 1, the K20's single compute
+	// Streams bounds each device runtime's simulated compute lanes when
+	// the engine builds its own node (0 = 1, the K20's single compute
 	// engine). Ignored when Runtime is set.
 	Streams int
 	// SpillBacklog enables load-aware admission: when > 0, the engine
@@ -126,11 +139,15 @@ type Config struct {
 
 // Engine executes queries against one index.
 type Engine struct {
-	ix      *index.Index
-	cfg     Config
-	scorer  *rank.Scorer
-	cache   *listCache
-	runtime *gpu.DeviceRuntime
+	ix     *index.Index
+	cfg    Config
+	scorer *rank.Scorer
+	// caches holds one device-resident list cache per node device (nil
+	// without CacheLists); node is the engine's multi-device runtime (nil
+	// for CPU-only engines) and placement its per-query device chooser.
+	caches    []*listCache
+	node      *gpu.NodeRuntime
+	placement sched.DevicePlacement
 }
 
 // New builds an engine, validating that GPU modes have a device.
@@ -158,9 +175,14 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{ix: ix, cfg: cfg, scorer: rank.NewScorer(ix, cfg.BM25)}
 	if cfg.Device != nil {
-		e.runtime = cfg.Runtime
-		if e.runtime == nil {
-			e.runtime = gpu.NewRuntime(cfg.Device, cfg.Streams)
+		if cfg.Runtime != nil {
+			e.node = gpu.WrapNode(cfg.Runtime)
+		} else {
+			e.node = gpu.NewNode(cfg.Device, cfg.Devices, cfg.Streams)
+		}
+		e.placement = cfg.Placement
+		if e.placement == nil {
+			e.placement = sched.AffinityDevices{}
 		}
 	}
 	if cfg.CacheLists {
@@ -168,77 +190,126 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 			cfg.CacheBytes = 4 << 30
 		}
 		e.cfg.CacheBytes = cfg.CacheBytes
-		e.cache = newListCache(cfg.CacheBytes)
+		devices := 1
+		if e.node != nil {
+			devices = e.node.Devices()
+		}
+		e.caches = make([]*listCache, devices)
+		for i := range e.caches {
+			e.caches[i] = newListCache(cfg.CacheBytes)
+		}
 	}
 	return e, nil
 }
 
-// Close releases any device memory the engine holds (the list cache).
+// Close releases any device memory the engine holds (the list caches).
 // Engines without caching need no cleanup.
 func (e *Engine) Close() {
-	if e.cache != nil {
-		e.cache.drop()
+	for _, c := range e.caches {
+		c.drop()
 	}
 }
 
-// CachedLists returns the number of device-resident cached lists.
+// CachedLists returns the number of device-resident cached lists, summed
+// across the node's devices.
 func (e *Engine) CachedLists() int {
-	if e.cache == nil {
-		return 0
+	n := 0
+	for _, c := range e.caches {
+		n += c.len()
 	}
-	return e.cache.len()
+	return n
 }
 
-// CacheStats returns the list cache's telemetry counters (zero value for
-// engines without CacheLists).
+// CacheStats returns the list caches' telemetry counters aggregated
+// across the node's devices (zero value for engines without CacheLists).
 func (e *Engine) CacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	var st CacheStats
+	for _, c := range e.caches {
+		st.Add(c.stats())
 	}
-	return e.cache.stats()
+	return st
+}
+
+// DeviceCacheStats returns per-device cache telemetry in device order
+// (nil without CacheLists) — the /statz view that shows how residency and
+// peer copies distribute across a node's GPUs.
+func (e *Engine) DeviceCacheStats() []CacheStats {
+	if e.caches == nil {
+		return nil
+	}
+	out := make([]CacheStats, len(e.caches))
+	for i, c := range e.caches {
+		out[i] = c.stats()
+	}
+	return out
 }
 
 // Warmup preloads the given terms' compressed posting lists into the
-// device cache (no-op without CacheLists), so a service can pay the PCIe
-// uploads for its hottest terms before taking traffic. It returns the
-// number of lists now resident and the simulated upload time. Warmup is
-// admitted into the shared device runtime like any query, so warming a
-// live engine contends with (and delays) in-flight traffic on the copy
-// engine, exactly as real PCIe preloading would.
+// device caches (no-op without CacheLists), so a service can pay the
+// PCIe uploads for its hottest terms before taking traffic. On a
+// multi-device node the terms are striped round-robin across the
+// devices — term i warms device i mod N — seeding the residency the
+// affinity placement then routes queries toward. It returns the number
+// of lists now resident and the simulated upload time (the slowest
+// device's, since the devices' copy engines upload concurrently).
+// Warmup is admitted into the shared device runtimes like any query, so
+// warming a live engine contends with (and delays) in-flight traffic on
+// the copy engines, exactly as real PCIe preloading would.
 func (e *Engine) Warmup(terms []string) (int, time.Duration, error) {
-	if e.cache == nil || e.runtime == nil {
+	if e.caches == nil || e.node == nil {
 		return 0, 0, nil
 	}
-	h := e.runtime.Admit()
-	defer h.Release()
+	devices := e.node.Devices()
+	handles := make([]*gpu.QueryStream, devices)
+	handles[0] = e.node.AdmitOn(0) // sibling handles are admitted on first use
+	defer func() {
+		for _, h := range handles {
+			if h != nil {
+				h.Release()
+			}
+		}
+	}()
+	elapsed := func() time.Duration {
+		var max time.Duration
+		for _, h := range handles {
+			if h != nil && h.Stream().Elapsed() > max {
+				max = h.Stream().Elapsed()
+			}
+		}
+		return max
+	}
 	loaded := 0
-	for _, term := range terms {
+	for i, term := range terms {
+		d := i % devices
 		pl, ok := e.ix.Lookup(term)
 		if !ok {
 			continue
 		}
-		if _, release, ok := e.cache.get(pl.Term); ok {
+		if _, release, ok := e.caches[d].get(pl.Term); ok {
 			release()
 			loaded++
 			continue
 		}
+		if handles[d] == nil {
+			handles[d] = e.node.AdmitOn(d)
+		}
 		var comp *gpu.Buffer
-		err := h.Submit(gpu.CopyEngine, func(s *gpu.Stream) error {
+		err := handles[d].Submit(gpu.CopyEngine, func(s *gpu.Stream) error {
 			c, err := kernels.UploadEF(s, pl.EF)
 			comp = c
 			return err
 		})
 		if err != nil {
-			return loaded, h.Stream().Elapsed(), err
+			return loaded, elapsed(), err
 		}
-		if release, ok := e.cache.put(pl.Term, comp); ok {
+		if release, ok := e.caches[d].put(pl.Term, comp); ok {
 			release()
 			loaded++
 		} else {
 			comp.Free()
 		}
 	}
-	return loaded, h.Stream().Elapsed(), nil
+	return loaded, elapsed(), nil
 }
 
 // Index returns the engine's index.
@@ -290,8 +361,8 @@ func (e *Engine) Search(terms []string) (*Result, error) {
 // HTTP request — aborts the remaining work with ctx's error.
 func (e *Engine) SearchContext(ctx context.Context, terms []string) (*Result, error) {
 	var h *gpu.QueryStream
-	if e.runtime != nil {
-		h = e.runtime.Admit()
+	if e.node != nil {
+		h = e.node.AdmitOn(e.placeDevice(terms))
 		defer h.Release()
 	}
 	return e.search(ctx, terms, h)
@@ -311,11 +382,65 @@ func (e *Engine) SearchAt(terms []string, arrival time.Duration) (*Result, error
 // SearchContext).
 func (e *Engine) SearchAtContext(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
 	var h *gpu.QueryStream
-	if e.runtime != nil {
-		h = e.runtime.AdmitAt(arrival)
+	if e.node != nil {
+		h = e.node.AdmitAtOn(e.placeDeviceAt(terms, arrival), arrival)
 		defer h.Release()
 	}
 	return e.search(ctx, terms, h)
+}
+
+// placeDevice chooses the device for one query. Single-device nodes skip
+// the policy entirely — every query lands on device 0, which keeps the
+// devices=1 engine byte-identical to the pre-node one. At Devices > 1
+// the placement policy sees each device's compute backlog plus, when the
+// engine caches lists, the upload time each device's resident lists
+// would save this query (the affinity signal).
+func (e *Engine) placeDevice(terms []string) int {
+	if e.node.Devices() == 1 {
+		return 0
+	}
+	return e.place(terms, e.node.Backlogs())
+}
+
+// placeDeviceAt is placeDevice for explicit-arrival admissions: the
+// backlog each device shows is relative to the arrival point on the
+// global timeline, so discrete-event load studies see queue skew even
+// though their driver runs queries one at a time in wall clock.
+func (e *Engine) placeDeviceAt(terms []string, arrival time.Duration) int {
+	if e.node.Devices() == 1 {
+		return 0
+	}
+	return e.place(terms, e.node.BacklogsAt(arrival))
+}
+
+func (e *Engine) place(terms []string, backlog []time.Duration) int {
+	info := sched.NodeInfo{Backlog: backlog}
+	if e.caches != nil {
+		info.Saving = e.affinitySavings(terms)
+	}
+	return e.placement.Place(info)
+}
+
+// affinitySavings estimates, per device, the transfer time the query's
+// terms would not pay there because their compressed lists are already
+// cache-resident. The probe reads residency without touching LRU order
+// or hit/miss counters; only the chosen device's cache sees real gets.
+func (e *Engine) affinitySavings(terms []string) []time.Duration {
+	model := e.node.Model()
+	out := make([]time.Duration, e.node.Devices())
+	for _, t := range terms {
+		pl, ok := e.ix.Lookup(t)
+		if !ok {
+			continue
+		}
+		bytes := pl.EF.CompressedBytes()
+		for d, c := range e.caches {
+			if c.contains(pl.Term) {
+				out[d] += model.TransferTime(bytes)
+			}
+		}
+	}
+	return out
 }
 
 func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStream) (*Result, error) {
@@ -326,10 +451,18 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 			fetches[i].List = pl
 		}
 	}
+	device := e.cfg.Device
+	if e.node != nil && h != nil {
+		// The plan executes on the device the query was placed on: its
+		// buffers live in (and its capacity checks charge) that device's
+		// memory. Device 0 is cfg.Device itself, so single-device nodes
+		// are unchanged.
+		device = e.node.Runtime(h.Device()).Device()
+	}
 	ctx := &exec.Context{
 		Ctx:           cancel,
 		CPU:           e.cfg.CPU,
-		Device:        e.cfg.Device,
+		Device:        device,
 		Handle:        h,
 		Lists:         e.listProvider(),
 		Scorer:        e.scorer,
@@ -412,37 +545,99 @@ func (e *Engine) planBuilder(policy sched.Policy) func(ordered []*index.PostingL
 	}
 }
 
-// Runtime returns the engine's shared device runtime (nil for CPU-only
-// engines) — the telemetry surface for device utilization and backlog.
-func (e *Engine) Runtime() *gpu.DeviceRuntime { return e.runtime }
-
-// listProvider exposes the engine's resident-list cache to cacheable
-// Upload operators; without caching, uploads go straight over PCIe.
-func (e *Engine) listProvider() exec.ListProvider {
-	if e.cache == nil {
+// Runtime returns device 0's runtime (nil for CPU-only engines) — the
+// single-device telemetry surface, preserved for callers that predate
+// multi-device nodes; Node is the full per-device view.
+func (e *Engine) Runtime() *gpu.DeviceRuntime {
+	if e.node == nil {
 		return nil
 	}
-	return cacheProvider{cache: e.cache}
+	return e.node.Runtime(0)
 }
 
-// cacheProvider adapts listCache to the executor's ListProvider: cache
-// hits skip the PCIe transfer, successful puts hand ownership to the
-// cache (the executor only drops the reference), and full-cache misses
-// leave the buffer executor-owned.
+// Node returns the engine's multi-device runtime (nil for CPU-only
+// engines) — per-device backlog, utilization, and admission telemetry.
+func (e *Engine) Node() *gpu.NodeRuntime { return e.node }
+
+// Devices returns the node's device count (1 for CPU-only engines, whose
+// plans place no device work).
+func (e *Engine) Devices() int {
+	if e.node == nil {
+		return 1
+	}
+	return e.node.Devices()
+}
+
+// listProvider exposes the engine's resident-list caches to cacheable
+// Upload operators; without caching, uploads go straight over PCIe.
+func (e *Engine) listProvider() exec.ListProvider {
+	if e.caches == nil {
+		return nil
+	}
+	return cacheProvider{caches: e.caches, model: e.node.Model()}
+}
+
+// cacheProvider adapts the per-device listCaches to the executor's
+// ListProvider: local cache hits skip the transfer entirely; local
+// misses whose list is resident on a sibling device take the priced
+// choice between a peer copy over the inter-device interconnect and a
+// host PCIe re-upload (the cheaper wins — a decision, not a free move);
+// successful puts hand ownership to the cache (the executor only drops
+// the reference), and full-cache misses leave the buffer executor-owned.
 type cacheProvider struct {
-	cache *listCache
+	caches []*listCache
+	model  *hwmodel.GPUModel
 }
 
-func (p cacheProvider) DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (exec.DeviceList, error) {
-	if buf, release, ok := p.cache.get(pl.Term); ok {
-		return exec.DeviceList{Buf: buf, Release: release}, nil // already resident: no PCIe transfer
+func (p cacheProvider) DeviceCompressed(s *gpu.Stream, dev int, pl *index.PostingList) (exec.DeviceList, error) {
+	local := p.caches[dev]
+	if buf, release, ok := local.get(pl.Term); ok {
+		return exec.DeviceList{Buf: buf, Release: release}, nil // already resident: no transfer
+	}
+	if comp, ok, err := p.peerCopy(s, dev, pl.Term); ok || err != nil {
+		if err != nil {
+			return exec.DeviceList{}, err
+		}
+		local.notePeerCopy()
+		if release, ok := local.put(pl.Term, comp); ok {
+			return exec.DeviceList{Buf: comp, Release: release, Peer: true}, nil
+		}
+		return exec.DeviceList{Buf: comp, Peer: true}, nil
 	}
 	comp, err := kernels.UploadEF(s, pl.EF)
 	if err != nil {
 		return exec.DeviceList{}, err
 	}
-	if release, ok := p.cache.put(pl.Term, comp); ok {
+	if release, ok := local.put(pl.Term, comp); ok {
 		return exec.DeviceList{Buf: comp, Release: release, Uploaded: true}, nil
 	}
 	return exec.DeviceList{Buf: comp, Uploaded: true}, nil
+}
+
+// peerCopy scans the sibling devices' caches for term and, when found
+// and the interconnect beats the host path for that size, copies the
+// compressed list device-to-device onto s. ok is false when the list is
+// resident nowhere (or re-uploading is cheaper), sending the caller to
+// the host PCIe path.
+func (p cacheProvider) peerCopy(s *gpu.Stream, dev int, term string) (*gpu.Buffer, bool, error) {
+	for d, c := range p.caches {
+		if d == dev || !c.contains(term) {
+			continue
+		}
+		src, release, ok := c.get(term)
+		if !ok {
+			continue // evicted between the probe and the get
+		}
+		if p.model.PeerTransferTime(src.Bytes) >= p.model.TransferTime(src.Bytes) {
+			release()
+			return nil, false, nil
+		}
+		comp, err := s.PeerIn(src.Data, src.Bytes)
+		release()
+		if err != nil {
+			return nil, false, err
+		}
+		return comp, true, nil
+	}
+	return nil, false, nil
 }

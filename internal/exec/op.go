@@ -126,6 +126,12 @@ type Op struct {
 	// Kind and Where identify the operator and its placement.
 	Kind  OpKind
 	Where sched.Processor
+	// Device is the node-relative GPU ordinal a device-placed operator
+	// should run on. Today's builders leave it 0 and the whole query runs
+	// on the device its admission handle was placed on; the field is the
+	// seam for per-operator device placement (splitting one query's
+	// intersections across a node's GPUs).
+	Device int
 	// Arg is the operand of the unary operators (Upload, Decompress). An
 	// Upload with Arg.List == nil uploads the raw intermediate result.
 	Arg Operand

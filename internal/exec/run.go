@@ -28,22 +28,28 @@ type DeviceList struct {
 	// Release drops the provider's reference at query end. When nil the
 	// executor owns the buffer and frees it itself.
 	Release func()
-	// Uploaded reports whether the call paid a PCIe transfer (false on a
-	// cache hit).
+	// Uploaded reports whether the call paid a host PCIe transfer (false
+	// on a cache hit or a peer copy).
 	Uploaded bool
+	// Peer reports that the list was copied over the inter-device
+	// interconnect from a sibling device's cache instead of re-uploaded
+	// from the host (multi-GPU nodes only).
+	Peer bool
 }
 
 // ListProvider supplies device-resident compressed posting lists to
 // cacheable Upload operators, letting the engine interpose its bounded
-// resident-list cache without the executor knowing about eviction.
+// resident-list cache without the executor knowing about eviction. dev
+// is the querying stream's device ordinal within its node, so a
+// per-device cache serves (and fills) the right device's residency.
 type ListProvider interface {
-	DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (DeviceList, error)
+	DeviceCompressed(s *gpu.Stream, dev int, pl *index.PostingList) (DeviceList, error)
 }
 
 // directUpload is the cache-less provider: every upload pays PCIe.
 type directUpload struct{}
 
-func (directUpload) DeviceCompressed(s *gpu.Stream, pl *index.PostingList) (DeviceList, error) {
+func (directUpload) DeviceCompressed(s *gpu.Stream, _ int, pl *index.PostingList) (DeviceList, error) {
 	comp, err := kernels.UploadEF(s, pl.EF)
 	if err != nil {
 		return DeviceList{}, err
@@ -275,6 +281,16 @@ func (r *runner) submitDevice(class gpu.EngineClass, fn func(*gpu.Stream) error)
 	return fn(r.stream)
 }
 
+// deviceID is the node-relative ordinal of the device this query was
+// placed on (0 without a runtime handle, i.e. a private stream or a
+// single-device node).
+func (r *runner) deviceID() int {
+	if r.ctx.Handle != nil {
+		return r.ctx.Handle.Device()
+	}
+	return 0
+}
+
 func (r *runner) elapsed() time.Duration {
 	if r.stream == nil {
 		return 0
@@ -319,6 +335,10 @@ func (r *runner) traceOp(op *Op, outLen int, took time.Duration) {
 func (r *runner) exec(op *Op) error {
 	est := op.Estimate(&r.ctx.CPU, r.gpuModel())
 	rec := OpRecord{Kind: op.Kind, Algo: op.Algo, Where: op.Where, Est: est}
+	if op.Kind == OpUpload || op.Kind == OpDecompress || op.Kind == OpMigrate ||
+		(op.Kind == OpIntersect && op.Where == sched.GPU) {
+		rec.Device = r.deviceID()
+	}
 
 	switch op.Kind {
 	case OpUpload:
@@ -351,7 +371,7 @@ func (r *runner) exec(op *Op) error {
 			var dl DeviceList
 			err := r.submitDevice(gpu.CopyEngine, func(s *gpu.Stream) error {
 				var err error
-				dl, err = provider.DeviceCompressed(s, pl)
+				dl, err = provider.DeviceCompressed(s, r.deviceID(), pl)
 				return err
 			})
 			if err != nil {
@@ -365,7 +385,8 @@ func (r *runner) exec(op *Op) error {
 			r.entry(pl).comp = dl.Buf
 			rec.Term = pl.Term
 			rec.NIn, rec.NOut = pl.N, pl.N
-			if dl.Uploaded {
+			rec.Peer = dl.Peer
+			if dl.Uploaded || dl.Peer {
 				rec.Bytes = pl.EF.CompressedBytes()
 			}
 		}

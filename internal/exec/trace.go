@@ -31,6 +31,14 @@ type OpRecord struct {
 	Algo Algo
 	// Where the operator ran.
 	Where sched.Processor
+	// Device is the node-relative ordinal of the GPU a device-placed
+	// operator (Upload, Decompress, Migrate, GPU Intersect) ran on;
+	// always 0 on single-device nodes and for CPU operators.
+	Device int
+	// Peer reports that an Upload was served over the inter-device
+	// interconnect from a sibling device's cache instead of the host
+	// PCIe path (multi-GPU nodes only).
+	Peer bool
 	// Term is the fetched term (OpFetch only).
 	Term string
 	// NIn and NOut are the element counts entering and leaving the

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"griffin/internal/gpu"
+)
+
+// DeviceSite must leave single-device site names untouched — the site
+// string feeds the firing hash, so renaming it would silently change
+// every seeded fault stream — and must make multi-device sites unique
+// per device.
+func TestDeviceSiteNaming(t *testing.T) {
+	if got := DeviceSite("s2r1", 0, 1); got != "s2r1" {
+		t.Fatalf("single-device site renamed to %q", got)
+	}
+	if got := DeviceSite("s2r1", 0, 0); got != "s2r1" {
+		t.Fatalf("degenerate device count renamed site to %q", got)
+	}
+	if got := DeviceSite("s2r1", 0, 4); got != "s2r1.g0" {
+		t.Fatalf("device 0 of 4 named %q", got)
+	}
+	if got := DeviceSite("s2r1", 3, 4); got != "s2r1.g3" {
+		t.Fatalf("device 3 of 4 named %q", got)
+	}
+}
+
+// Per-device sites draw independent deterministic fault streams, and
+// SiteCounts attributes fired faults to the device they hit.
+func TestPerDeviceFaultStreamsDeterministic(t *testing.T) {
+	run := func() ([]Event, map[string]int64) {
+		in := NewInjector(Plan{Seed: 99, Rules: []Rule{{Kind: KernelLaunch, Rate: 0.3}}})
+		for d := 0; d < 2; d++ {
+			hook := in.DeviceHook(DeviceSite("s0r0", d, 2))
+			for i := 0; i < 200; i++ {
+				_ = hook(gpu.ComputeEngine, 0)
+			}
+		}
+		return in.Log(), in.SiteCounts()
+	}
+	log1, counts1 := run()
+	log2, counts2 := run()
+	if len(log1) == 0 {
+		t.Fatal("rate 0.3 over 400 opportunities fired nothing")
+	}
+	if len(log1) != len(log2) {
+		t.Fatalf("runs fired %d vs %d faults", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("event %d differs across identical runs: %+v vs %+v", i, log1[i], log2[i])
+		}
+	}
+	if counts1["s0r0.g0"] == 0 || counts1["s0r0.g1"] == 0 {
+		t.Fatalf("site counts missing a device: %v", counts1)
+	}
+	if counts1["s0r0.g0"]+counts1["s0r0.g1"] != int64(len(log1)) {
+		t.Fatalf("site counts %v do not sum to log length %d", counts1, len(log1))
+	}
+	for k, v := range counts1 {
+		if counts2[k] != v {
+			t.Fatalf("site counts differ across runs: %v vs %v", counts1, counts2)
+		}
+		if !strings.HasPrefix(k, "s0r0.g") {
+			t.Fatalf("unexpected site %q", k)
+		}
+	}
+
+	// The two devices' streams differ from each other (the site is in the
+	// hash): identical streams would mean the device id is ignored.
+	var seq0, seq1 []int64
+	for _, e := range log1 {
+		if e.Site == "s0r0.g0" {
+			seq0 = append(seq0, e.Seq)
+		} else {
+			seq1 = append(seq1, e.Seq)
+		}
+	}
+	same := len(seq0) == len(seq1)
+	if same {
+		for i := range seq0 {
+			if seq0[i] != seq1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("device 0 and device 1 drew identical fault sequences")
+	}
+}

@@ -167,6 +167,20 @@ func IsEngineFault(err error) bool {
 	return errors.As(err, &ef)
 }
 
+// DeviceSite derives the injection-site name for one device of a
+// replica's multi-GPU node: base for single-device nodes — unchanged, so
+// existing seeded fault streams are untouched — and "base.g<dev>" when
+// the node has several devices, making per-device faults distinguishable
+// in the fault log and the /statz site counters. The site string feeds
+// hashUnit, so the naming is part of the deterministic contract: a
+// devices=1 run must hash the same site names it always has.
+func DeviceSite(base string, dev, devices int) string {
+	if devices <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.g%d", base, dev)
+}
+
 // siteState is one injection site's private stream: opportunity counters
 // per channel, the in-progress reset window, and the site's slice of the
 // fault log.
@@ -369,6 +383,24 @@ func (in *Injector) Counts() map[string]int64 {
 	for k := Kind(0); k < numKinds; k++ {
 		if in.counts[k] > 0 {
 			out[k.String()] = in.counts[k]
+		}
+	}
+	return out
+}
+
+// SiteCounts returns the number of injected faults per site (sites with
+// none are omitted) — the telemetry view that shows which shard, replica,
+// and device the faults landed on.
+func (in *Injector) SiteCounts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64)
+	for name, s := range in.sites {
+		if len(s.events) > 0 {
+			out[name] = int64(len(s.events))
 		}
 	}
 	return out

@@ -62,6 +62,12 @@ func New(model hwmodel.GPUModel, workers int) *Device {
 // Model returns the device's timing model.
 func (d *Device) Model() *hwmodel.GPUModel { return &d.model }
 
+// Clone returns a fresh device with the same timing model and host
+// parallelism but its own memory accounting and telemetry — the sibling
+// accelerators of a multi-GPU node (NodeRuntime) are clones of one
+// template device.
+func (d *Device) Clone() *Device { return New(d.model, d.workers) }
+
 // Allocated returns the currently allocated device memory in bytes.
 func (d *Device) Allocated() int64 {
 	d.mu.Lock()
@@ -143,6 +149,26 @@ func (s *Stream) D2H(b *Buffer, bytes int64) any {
 	s.record("d2h", "", bytes, s.elapsed, took)
 	s.elapsed += took
 	return b.Data
+}
+
+// PeerIn copies data from a sibling device of the same node into a fresh
+// buffer on this stream's device, charging allocation plus peer-
+// interconnect transfer (hwmodel.GPUModel.PeerTransferTime) instead of
+// the host PCIe path — the priced alternative to re-uploading a list that
+// is already resident on another device. The source device's engines are
+// not occupied: the model charges the transfer to the destination query's
+// timeline only, which keeps per-device timelines independent (see
+// docs/simulator.md).
+func (s *Stream) PeerIn(data any, bytes int64) (*Buffer, error) {
+	b, err := s.Alloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	b.Data = data
+	took := s.dev.model.PeerTransferTime(bytes)
+	s.record("p2p", "", bytes, s.elapsed, took)
+	s.elapsed += took
+	return b, nil
 }
 
 // Free releases the buffer's device memory. Freeing twice is a no-op.

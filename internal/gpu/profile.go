@@ -8,7 +8,7 @@ import (
 
 // ProfileEvent records one operation on a profiled stream.
 type ProfileEvent struct {
-	// Kind is "launch", "h2d", "d2h", or "alloc".
+	// Kind is "launch", "h2d", "d2h", "p2p", "alloc", or "wait".
 	Kind string
 	// Name is the kernel name for launches, empty otherwise.
 	Name string

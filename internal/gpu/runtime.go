@@ -77,6 +77,10 @@ type DeviceRuntime struct {
 	dev     *Device
 	streams int
 	hook    SubmitHook
+	// index is the runtime's device ordinal within its NodeRuntime (0 for
+	// a standalone runtime, which is indistinguishable from device 0 of a
+	// single-device node).
+	index int
 
 	mu      sync.Mutex
 	compute []lane
@@ -110,6 +114,10 @@ func NewRuntime(dev *Device, streams int) *DeviceRuntime {
 
 // Device returns the underlying simulated device.
 func (rt *DeviceRuntime) Device() *Device { return rt.dev }
+
+// Index returns the runtime's device ordinal within its node (0 for a
+// standalone runtime).
+func (rt *DeviceRuntime) Index() int { return rt.index }
 
 // SetSubmitHook installs (or, with nil, removes) the submission
 // interceptor. Install hooks before serving traffic: the hook field is
@@ -236,6 +244,11 @@ func (h *QueryStream) Waited() time.Duration {
 // Arrival returns the query's anchor on the global device timeline.
 func (h *QueryStream) Arrival() time.Duration { return h.anchor }
 
+// Device returns the ordinal of the device this query was admitted to
+// within its node (0 on a standalone runtime) — the id exec operators and
+// plan records carry.
+func (h *QueryStream) Device() int { return h.rt.index }
+
 // Submit runs one work item on the given engine. The item becomes ready
 // at the query's current position on the global timeline (anchor +
 // stream clock); if the chosen engine lane is still busy with other
@@ -333,6 +346,18 @@ func (rt *DeviceRuntime) PendingTime() time.Duration {
 		return 0
 	}
 	return rt.pendingLocked(rt.clock)
+}
+
+// PendingAt reports the compute backlog a query arriving at the given
+// point on the global timeline (AdmitAt) would face. Unlike PendingTime
+// it does not treat an idle device as backlog-free: in discrete-event
+// load studies the lanes legitimately hold work scheduled past the
+// arrival even when no query is in flight in wall clock, and that
+// residual is exactly the queueing delay the arrival would be charged.
+func (rt *DeviceRuntime) PendingAt(arrival time.Duration) time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.pendingLocked(arrival)
 }
 
 func (rt *DeviceRuntime) pendingLocked(ready time.Duration) time.Duration {

@@ -108,6 +108,19 @@ type GPUModel struct {
 	// MemoryBytes is device memory capacity (5 GB on K20); the gpu package
 	// enforces it on allocation.
 	MemoryBytes int64
+	// PeerLatency is the fixed DMA setup latency of one device-to-device
+	// (peer) transfer inside a multi-GPU node. P2P DMA over a shared PCIe
+	// switch programs a single engine and skips the host bounce buffer, so
+	// setup is cheaper than the host path's two-sided pinning (~6 us vs
+	// 10 us measured on Kepler-era GPUDirect).
+	PeerLatency time.Duration
+	// PeerBytesPerSec is the inter-device (peer) bandwidth. On a
+	// Kepler-era node both GPUs hang off one PCIe 2.0 switch, but P2P DMA
+	// avoids the store-and-forward hop through host memory, sustaining
+	// ~1.5x the host-path rate (~12 GB/s vs 8 GB/s). The constant is
+	// distinct from PCIeBytesPerSec so NVLink-class interconnects are a
+	// calibration change, not a code change.
+	PeerBytesPerSec float64
 }
 
 // DefaultGPU returns the K20-calibrated model the experiments use.
@@ -128,6 +141,8 @@ func DefaultGPU() GPUModel {
 		MinUtilization:      0.002,
 		PhaseOverhead:       2 * time.Microsecond,
 		MemoryBytes:         5 << 30,
+		PeerLatency:         6 * time.Microsecond,
+		PeerBytesPerSec:     12e9,
 	}
 }
 
@@ -175,6 +190,21 @@ func (m *GPUModel) KernelTime(s *LaunchStats) time.Duration {
 // TransferTime returns the host<->device copy time for n bytes.
 func (m *GPUModel) TransferTime(bytes int64) time.Duration {
 	return m.PCIeLatency + time.Duration(float64(bytes)/m.PCIeBytesPerSec*float64(time.Second))
+}
+
+// PeerTransferTime returns the device<->device copy time for n bytes over
+// the node's peer interconnect. It has the same shape as TransferTime —
+// fixed setup latency plus bandwidth-proportional payload — but is priced
+// by the peer constants, so a scheduler can weigh "peer-copy a resident
+// list from a sibling device" against "re-upload it from the host" as two
+// differently priced paths. Models with no peer calibration (both peer
+// constants zero) fall back to the host path, so a single-device model
+// never silently prices peer copies as free.
+func (m *GPUModel) PeerTransferTime(bytes int64) time.Duration {
+	if m.PeerBytesPerSec <= 0 {
+		return m.TransferTime(bytes)
+	}
+	return m.PeerLatency + time.Duration(float64(bytes)/m.PeerBytesPerSec*float64(time.Second))
 }
 
 // AllocTime returns the device-allocation time for n bytes.

@@ -173,3 +173,85 @@ func TestGPUFixedOverheadsDominateSmallInputs(t *testing.T) {
 		t.Fatalf("tiny GPU job = %v, expected >= 15us of fixed overhead", total)
 	}
 }
+
+// TestTransferPricingTable prices the two copy paths — host PCIe and the
+// node's peer interconnect — across the size range, including the edges:
+// zero-byte transfers cost exactly the fixed setup latency, and huge
+// transfers converge to pure bandwidth (the latency term vanishes in the
+// ratio).
+func TestTransferPricingTable(t *testing.T) {
+	m := DefaultGPU()
+	cases := []struct {
+		name       string
+		bytes      int64
+		wantHost   time.Duration
+		wantPeer   time.Duration
+		peerFaster bool
+	}{
+		{
+			name:     "zero bytes costs setup latency only",
+			bytes:    0,
+			wantHost: m.PCIeLatency,
+			wantPeer: m.PeerLatency,
+			// 6us peer setup vs 10us host: peer wins even empty.
+			peerFaster: true,
+		},
+		{
+			name:       "1 KiB latency-dominated",
+			bytes:      1 << 10,
+			wantHost:   m.PCIeLatency + time.Duration(float64(1<<10)/m.PCIeBytesPerSec*1e9),
+			wantPeer:   m.PeerLatency + time.Duration(float64(1<<10)/m.PeerBytesPerSec*1e9),
+			peerFaster: true,
+		},
+		{
+			name:       "8 MiB bandwidth region",
+			bytes:      8 << 20,
+			wantHost:   m.PCIeLatency + time.Duration(float64(8<<20)/m.PCIeBytesPerSec*1e9),
+			wantPeer:   m.PeerLatency + time.Duration(float64(8<<20)/m.PeerBytesPerSec*1e9),
+			peerFaster: true,
+		},
+		{
+			name:       "4 GiB huge transfer",
+			bytes:      4 << 30,
+			wantHost:   m.PCIeLatency + time.Duration(float64(4<<30)/m.PCIeBytesPerSec*1e9),
+			wantPeer:   m.PeerLatency + time.Duration(float64(4<<30)/m.PeerBytesPerSec*1e9),
+			peerFaster: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			host := m.TransferTime(tc.bytes)
+			peer := m.PeerTransferTime(tc.bytes)
+			if host != tc.wantHost {
+				t.Fatalf("TransferTime(%d) = %v, want %v", tc.bytes, host, tc.wantHost)
+			}
+			if peer != tc.wantPeer {
+				t.Fatalf("PeerTransferTime(%d) = %v, want %v", tc.bytes, peer, tc.wantPeer)
+			}
+			if tc.peerFaster != (peer < host) {
+				t.Fatalf("peer %v vs host %v: want peerFaster=%v", peer, host, tc.peerFaster)
+			}
+		})
+	}
+
+	// Huge transfers converge to the bandwidth ratio: with the K20
+	// calibration (12 vs 8 GB/s) the peer path approaches 2/3 the host
+	// time as latency amortizes away.
+	hugeHost := m.TransferTime(4 << 30)
+	hugePeer := m.PeerTransferTime(4 << 30)
+	ratio := float64(hugePeer) / float64(hugeHost)
+	wantRatio := m.PCIeBytesPerSec / m.PeerBytesPerSec
+	if ratio < wantRatio*0.99 || ratio > wantRatio*1.01 {
+		t.Fatalf("huge-transfer peer/host ratio %.4f, want ~%.4f (bandwidth ratio)", ratio, wantRatio)
+	}
+
+	// An uncalibrated model (no peer constants) prices peer copies at the
+	// host path, never as free.
+	bare := DefaultGPU()
+	bare.PeerLatency, bare.PeerBytesPerSec = 0, 0
+	for _, bytes := range []int64{0, 1 << 10, 8 << 20} {
+		if got, want := bare.PeerTransferTime(bytes), bare.TransferTime(bytes); got != want {
+			t.Fatalf("uncalibrated peer path: PeerTransferTime(%d) = %v, want host %v", bytes, got, want)
+		}
+	}
+}

@@ -46,8 +46,12 @@ func RunEngine(e *core.Engine, queries [][]string, spec Spec) (Result, error) {
 			res.Makespan = end
 		}
 	}
-	if rt := e.Runtime(); rt != nil {
-		res.GPUBusy = rt.Utilization()
+	if node := e.Node(); node != nil {
+		// Node-level utilization: busy time over capacity summed across
+		// every device, so a multi-GPU engine with one hot device and idle
+		// siblings reads as underutilized rather than saturated. Identical
+		// to the device-0 view at devices=1.
+		res.GPUBusy = node.Utilization()
 	}
 	return res, nil
 }

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NodeInfo is the per-device state a placement policy decides on, one
+// entry per device in device order.
+type NodeInfo struct {
+	// Backlog is each device's current compute-queue delay (the
+	// gpu.NodeRuntime.Backlogs view): how long a kernel submitted to that
+	// device right now would wait before starting.
+	Backlog []time.Duration
+	// Saving is each device's modeled affinity credit for the query being
+	// placed: the transfer time the query would *not* pay on that device
+	// because lists it needs are already resident there (in that device's
+	// cache). Zero-filled — or nil — when the caller tracks no residency.
+	Saving []time.Duration
+}
+
+// devices returns the device count described by the info.
+func (n NodeInfo) devices() int { return len(n.Backlog) }
+
+// DevicePlacement chooses which device of a multi-GPU node a query runs
+// on. It is the inter-device complement of Policy: Policy decides
+// CPU-vs-GPU per intersection, DevicePlacement decides *which* GPU per
+// query, before admission. Implementations must be safe for concurrent
+// use — one instance serves every query on the engine.
+type DevicePlacement interface {
+	// Place returns the chosen device ordinal in [0, len(info.Backlog)).
+	Place(info NodeInfo) int
+}
+
+// RoundRobinDevices cycles queries across devices regardless of load —
+// the oblivious baseline that spreads work but ignores both backlog skew
+// and data residency.
+type RoundRobinDevices struct {
+	next atomic.Int64
+}
+
+// Place implements DevicePlacement.
+func (p *RoundRobinDevices) Place(info NodeInfo) int {
+	n := info.devices()
+	if n <= 1 {
+		return 0
+	}
+	return int((p.next.Add(1) - 1) % int64(n))
+}
+
+// LeastBacklogDevices sends each query to the device with the shortest
+// compute queue, ties broken toward the lowest ordinal — join-the-
+// shortest-queue, blind to data residency.
+type LeastBacklogDevices struct{}
+
+// Place implements DevicePlacement.
+func (LeastBacklogDevices) Place(info NodeInfo) int {
+	best := 0
+	for i := 1; i < info.devices(); i++ {
+		if info.Backlog[i] < info.Backlog[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// AffinityDevices weighs queue length against data residency: it picks
+// the device minimizing backlog minus the upload time its resident lists
+// would save the query. A device holding the query's big lists wins
+// unless its queue is longer than the transfer it saves — the point at
+// which re-uploading elsewhere (or peer-copying, priced separately by
+// the cache layer) beats waiting. With no residency information it
+// degenerates to LeastBacklogDevices. This is the engine's default at
+// devices > 1.
+type AffinityDevices struct{}
+
+// Place implements DevicePlacement.
+func (AffinityDevices) Place(info NodeInfo) int {
+	score := func(i int) time.Duration {
+		s := info.Backlog[i]
+		if i < len(info.Saving) {
+			s -= info.Saving[i]
+		}
+		return s
+	}
+	best := 0
+	bestScore := score(0)
+	for i := 1; i < info.devices(); i++ {
+		if s := score(i); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// PlacementByName maps a CLI/config name to a placement policy; the empty
+// string (and "affinity") selects the default. Unknown names return nil.
+func PlacementByName(name string) DevicePlacement {
+	switch name {
+	case "", "affinity":
+		return AffinityDevices{}
+	case "least-backlog":
+		return LeastBacklogDevices{}
+	case "round-robin":
+		return &RoundRobinDevices{}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestRoundRobinDevicesCycles(t *testing.T) {
+	p := &RoundRobinDevices{}
+	info := NodeInfo{Backlog: make([]time.Duration, 3)}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.Place(info); got != w {
+			t.Fatalf("placement %d: got device %d, want %d", i, got, w)
+		}
+	}
+	// Single device short-circuits without consuming the counter.
+	single := NodeInfo{Backlog: make([]time.Duration, 1)}
+	for i := 0; i < 3; i++ {
+		if got := p.Place(single); got != 0 {
+			t.Fatalf("single-device placement returned %d", got)
+		}
+	}
+	if got := p.Place(info); got != 0 {
+		t.Fatalf("counter advanced by single-device placements: got %d, want 0", got)
+	}
+}
+
+func TestLeastBacklogDevices(t *testing.T) {
+	p := LeastBacklogDevices{}
+	cases := []struct {
+		backlog []time.Duration
+		want    int
+	}{
+		{[]time.Duration{0}, 0},
+		{[]time.Duration{ms(5), ms(2), ms(9)}, 1},
+		{[]time.Duration{ms(3), ms(3), ms(3)}, 0}, // ties go to the lowest ordinal
+		{[]time.Duration{ms(4), ms(1), ms(1)}, 1},
+	}
+	for i, c := range cases {
+		if got := p.Place(NodeInfo{Backlog: c.backlog}); got != c.want {
+			t.Fatalf("case %d: got device %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestAffinityDevicesWeighsSavingAgainstBacklog(t *testing.T) {
+	p := AffinityDevices{}
+	cases := []struct {
+		name    string
+		backlog []time.Duration
+		saving  []time.Duration
+		want    int
+	}{
+		{"no residency degenerates to least backlog",
+			[]time.Duration{ms(5), ms(2)}, nil, 1},
+		{"zero savings degenerate to least backlog",
+			[]time.Duration{ms(5), ms(2)}, []time.Duration{0, 0}, 1},
+		{"resident lists outweigh a short queue",
+			[]time.Duration{ms(5), ms(2)}, []time.Duration{ms(4), 0}, 0},
+		{"a long enough queue beats affinity",
+			[]time.Duration{ms(9), ms(2)}, []time.Duration{ms(4), 0}, 1},
+		{"ties go to the lowest ordinal",
+			[]time.Duration{ms(3), ms(3)}, []time.Duration{ms(1), ms(1)}, 0},
+	}
+	for _, c := range cases {
+		if got := p.Place(NodeInfo{Backlog: c.backlog, Saving: c.saving}); got != c.want {
+			t.Fatalf("%s: got device %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPlacementByName(t *testing.T) {
+	if _, ok := PlacementByName("").(AffinityDevices); !ok {
+		t.Fatal("empty name is not the affinity default")
+	}
+	if _, ok := PlacementByName("affinity").(AffinityDevices); !ok {
+		t.Fatal("affinity name mismatch")
+	}
+	if _, ok := PlacementByName("least-backlog").(LeastBacklogDevices); !ok {
+		t.Fatal("least-backlog name mismatch")
+	}
+	if _, ok := PlacementByName("round-robin").(*RoundRobinDevices); !ok {
+		t.Fatal("round-robin name mismatch")
+	}
+	if PlacementByName("bogus") != nil {
+		t.Fatal("unknown name did not return nil")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"griffin/internal/cluster"
 	"griffin/internal/core"
+	"griffin/internal/gpu"
 	"griffin/internal/index"
 )
 
@@ -96,6 +97,11 @@ type PlanOpJSON struct {
 	Bytes     int64   `json:"bytes,omitempty"`
 	TookUS    float64 `json:"took_us"`
 	EstTookUS float64 `json:"est_took_us"`
+	// Device is the node device the operator ran on; Peer marks an upload
+	// satisfied by a device-to-device copy from a sibling's cache rather
+	// than a host transfer. Both appear only on multi-GPU engines.
+	Device int  `json:"device,omitempty"`
+	Peer   bool `json:"peer,omitempty"`
 }
 
 // ShardTraceJSON summarizes one shard's contribution to a traced cluster
@@ -192,6 +198,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				Bytes:     op.Bytes,
 				TookUS:    float64(op.Took) / float64(time.Microsecond),
 				EstTookUS: float64(op.Est) / float64(time.Microsecond),
+				Device:    op.Device,
+				Peer:      op.Peer,
 			}
 		}
 	}
@@ -329,8 +337,11 @@ type StatsResponse struct {
 	// cluster servers aggregate across every replica).
 	Cache *CacheStatsJSON `json:"cache,omitempty"`
 	// Device is the shared device runtime's telemetry; omitted for
-	// CPU-only engines and for cluster servers (see Shards).
-	Device *DeviceStatsJSON `json:"device,omitempty"`
+	// CPU-only engines and for cluster servers (see Shards). On multi-GPU
+	// engines it reports device 0 (preserved for existing consumers) and
+	// Devices carries one row per node device in device order.
+	Device  *DeviceStatsJSON  `json:"device,omitempty"`
+	Devices []DeviceStatsJSON `json:"devices,omitempty"`
 	// Degraded counts cluster queries answered partially; Shards carries
 	// one telemetry row per shard replica. Both are cluster-mode only.
 	Degraded int64            `json:"degraded_queries,omitempty"`
@@ -343,6 +354,10 @@ type StatsResponse struct {
 	// recent injected events (capped).
 	FaultCounts map[string]int64 `json:"fault_counts,omitempty"`
 	Faults      []FaultEventJSON `json:"faults,omitempty"`
+	// FaultSites totals injected faults per site name — on multi-GPU
+	// replicas the sites are per-device ("s2r1.g0"), so this map shows
+	// which physical device each fault landed on.
+	FaultSites map[string]int64 `json:"fault_sites,omitempty"`
 }
 
 // SelfHealJSON reports the cluster's lifetime self-healing counters.
@@ -369,13 +384,17 @@ type FaultEventJSON struct {
 // faultLogCap bounds the /statz injected-fault log.
 const faultLogCap = 100
 
-// CacheStatsJSON reports the resident-list cache counters.
+// CacheStatsJSON reports the resident-list cache counters. PeerCopies
+// counts misses served by copying the list from a sibling device's cache
+// over the peer interconnect instead of re-uploading from the host
+// (always zero on single-GPU engines).
 type CacheStatsJSON struct {
-	Lists     int   `json:"lists"`
-	Bytes     int64 `json:"bytes"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Lists      int   `json:"lists"`
+	Bytes      int64 `json:"bytes"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	PeerCopies int64 `json:"peer_copies,omitempty"`
 }
 
 // DeviceStatsJSON reports one device runtime's state: how busy the
@@ -404,15 +423,34 @@ type ShardStatsJSON struct {
 	BreakerTrips int64            `json:"breaker_trips,omitempty"`
 	Cache        *CacheStatsJSON  `json:"cache,omitempty"`
 	Device       *DeviceStatsJSON `json:"device,omitempty"`
+	// Devices has one row per node device when the replica runs a
+	// multi-GPU node (omitted on single-device replicas).
+	Devices []DeviceStatsJSON `json:"devices,omitempty"`
 }
 
 func cacheJSON(st core.CacheStats) *CacheStatsJSON {
 	return &CacheStatsJSON{
-		Lists:     st.Lists,
-		Bytes:     st.Bytes,
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
+		Lists:      st.Lists,
+		Bytes:      st.Bytes,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Evictions:  st.Evictions,
+		PeerCopies: st.PeerCopies,
+	}
+}
+
+func deviceJSON(st gpu.RuntimeStats) DeviceStatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return DeviceStatsJSON{
+		Streams:        st.Streams,
+		ActiveQueries:  st.Active,
+		Admitted:       st.Admitted,
+		Utilization:    st.Utilization,
+		ComputeBusyMS:  ms(st.ComputeBusy),
+		CopyBusyMS:     ms(st.CopyBusy),
+		QueueWaitMS:    ms(st.Waited),
+		BacklogMS:      ms(st.Backlog),
+		TimelineSpanMS: ms(st.Horizon),
 	}
 }
 
@@ -446,6 +484,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		if inj := s.cluster.Injector(); inj != nil {
 			resp.FaultCounts = inj.Counts()
+			resp.FaultSites = inj.SiteCounts()
 			log := inj.Log()
 			if len(log) > faultLogCap {
 				log = log[len(log)-faultLogCap:]
@@ -469,24 +508,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			if row.Cache != (core.CacheStats{}) {
 				caching = true
 				sr.Cache = cacheJSON(row.Cache)
-				agg.Lists += row.Cache.Lists
-				agg.Bytes += row.Cache.Bytes
-				agg.Hits += row.Cache.Hits
-				agg.Misses += row.Cache.Misses
-				agg.Evictions += row.Cache.Evictions
+				agg.Add(row.Cache)
 			}
 			if row.Device != nil {
-				sr.Device = &DeviceStatsJSON{
-					Streams:        row.Device.Streams,
-					ActiveQueries:  row.Device.Active,
-					Admitted:       row.Device.Admitted,
-					Utilization:    row.Device.Utilization,
-					ComputeBusyMS:  ms(row.Device.ComputeBusy),
-					CopyBusyMS:     ms(row.Device.CopyBusy),
-					QueueWaitMS:    ms(row.Device.Waited),
-					BacklogMS:      ms(row.Device.Backlog),
-					TimelineSpanMS: ms(row.Device.Horizon),
-				}
+				d := deviceJSON(*row.Device)
+				sr.Device = &d
+			}
+			for _, d := range row.Devices {
+				sr.Devices = append(sr.Devices, deviceJSON(d))
 			}
 			resp.Shards = append(resp.Shards, sr)
 		}
@@ -503,17 +532,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = cacheJSON(st)
 	}
 	if rt := s.engine.Runtime(); rt != nil {
-		st := rt.Stats()
-		resp.Device = &DeviceStatsJSON{
-			Streams:        st.Streams,
-			ActiveQueries:  st.Active,
-			Admitted:       st.Admitted,
-			Utilization:    st.Utilization,
-			ComputeBusyMS:  ms(st.ComputeBusy),
-			CopyBusyMS:     ms(st.CopyBusy),
-			QueueWaitMS:    ms(st.Waited),
-			BacklogMS:      ms(st.Backlog),
-			TimelineSpanMS: ms(st.Horizon),
+		d := deviceJSON(rt.Stats())
+		resp.Device = &d
+	}
+	if node := s.engine.Node(); node != nil && node.Devices() > 1 {
+		for i := 0; i < node.Devices(); i++ {
+			resp.Devices = append(resp.Devices, deviceJSON(node.Runtime(i).Stats()))
 		}
 	}
 	writeJSON(w, resp)

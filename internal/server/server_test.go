@@ -14,6 +14,7 @@ import (
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
+	"griffin/internal/sched"
 	"griffin/internal/workload"
 )
 
@@ -259,6 +260,57 @@ func TestStatsDeviceTelemetry(t *testing.T) {
 	}
 	if st.Device != nil {
 		t.Fatalf("CPU-only engine reports device telemetry: %+v", st.Device)
+	}
+}
+
+// A multi-GPU engine grows a per-device telemetry array on /statz; a
+// single-GPU engine omits it so devices=1 output stays identical to
+// older builds.
+func TestStatsMultiDeviceTelemetry(t *testing.T) {
+	ix := testIndex(t)
+	e, err := core.New(ix, core.Config{
+		Mode: core.Hybrid, Device: gpu.New(hwmodel.DefaultGPU(), 0),
+		Devices: 2, Placement: &sched.RoundRobinDevices{}, CacheLists: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e)
+	for i := 0; i < 8; i++ {
+		get(t, srv, "/search?q=quick+fox")
+	}
+
+	_, body := get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Devices) != 2 {
+		t.Fatalf("devices array has %d rows, want 2", len(st.Devices))
+	}
+	var admitted int64
+	for _, d := range st.Devices {
+		admitted += d.Admitted
+	}
+	if admitted < 8 {
+		t.Fatalf("per-device admissions sum to %d, want >= 8", admitted)
+	}
+	if st.Device == nil || st.Device.Admitted != st.Devices[0].Admitted {
+		t.Fatalf("device field %+v does not mirror devices[0] %+v", st.Device, st.Devices[0])
+	}
+
+	// Single-GPU server: no devices array, and no peer copies in the cache
+	// counters.
+	_, body = get(t, newTestServer(t), "/statz")
+	st = StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Devices != nil {
+		t.Fatalf("single-GPU engine reports a devices array: %+v", st.Devices)
+	}
+	if st.Cache != nil && st.Cache.PeerCopies != 0 {
+		t.Fatalf("single-GPU engine reports peer copies: %+v", st.Cache)
 	}
 }
 
