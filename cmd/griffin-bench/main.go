@@ -22,19 +22,22 @@ import (
 	"time"
 
 	"griffin/internal/experiments"
+	"griffin/internal/gpu"
 	"griffin/internal/workload"
 )
 
 // experimentNames are the valid -only keys, in run order.
 var experimentNames = []string{
 	"table1", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "chaos",
+	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos",
 }
 
 func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1.0 = full)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	only := flag.String("only", "", "comma-separated experiment list (default: all): "+strings.Join(experimentNames, ","))
+	batchWindow := flag.Duration("batch-window", 0, "batching-on window for the batch sweep (0 = sweep default 2ms)")
+	batchMax := flag.Int("batch-max", gpu.DefaultBatchMax, "batching-on member cap for the batch sweep")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "also write all tables as one JSON document to this path")
 	flag.Parse()
@@ -45,9 +48,20 @@ func main() {
 		}
 	}
 
+	if *batchWindow < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-bench: -batch-window must be >= 0, got %v\n", *batchWindow)
+		os.Exit(2)
+	}
+	if *batchMax <= 0 {
+		fmt.Fprintf(os.Stderr, "griffin-bench: -batch-max must be >= 1, got %d\n", *batchMax)
+		os.Exit(2)
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.BatchWindow = *batchWindow
+	cfg.BatchMax = *batchMax
 
 	// Unknown -only keys fail fast: a typo like "clsuter" used to be
 	// silently ignored, running everything but the experiment asked for.
@@ -193,6 +207,13 @@ func main() {
 		_, td, err := experiments.RunDeviceSweep(cfg)
 		exitOn(err)
 		emit(td)
+	}
+
+	if run("batch") {
+		fmt.Println("sweeping shard counts with device batching off and on...")
+		_, tb, err := experiments.RunBatchSweep(cfg)
+		exitOn(err)
+		emit(tb)
 	}
 
 	if run("chaos") {

@@ -8,6 +8,7 @@
 //	griffin-server -index index.grif -devices 4 -placement affinity -cache
 //	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
 //	griffin-server -index index.grif -shards 4 -replicas 2 -chaos-rate 0.05 -hedge-delay 2ms
+//	griffin-server -index index.grif -batch-window 200us -batch-max 16
 //
 // With -shards N > 1 the loaded index is document-partitioned into N
 // shards (global BM25 statistics preserved, so results are identical to
@@ -19,6 +20,15 @@
 // by the -placement policy, per-device list caches pull hot lists over
 // the modeled peer interconnect, and /statz grows per-device telemetry.
 // At -devices 1 behavior and output are identical to older builds.
+//
+// With -batch-window W > 0 every device runtime coalesces compatible ops
+// (same engine and kernel family) from concurrently admitted queries
+// submitted within W of each other into one batched launch, paying fixed
+// launch/DMA costs once per batch; -batch-max caps members per batch.
+// Results are byte-identical to unbatched serving — only the simulated
+// timeline changes — and /statz grows a "batching" block with the
+// coalescing telemetry. The default (0) is off, preserving older output
+// byte for byte.
 //
 // Cluster serving self-heals: failed sub-queries retry on sibling
 // replicas, device faults fall back to CPU-only plans, per-replica
@@ -68,6 +78,8 @@ func main() {
 	cache := flag.Bool("cache", false, "keep hot compressed lists resident in device memory")
 	devices := flag.Int("devices", 1, "simulated GPUs per node; > 1 places each query on one device of a multi-GPU node")
 	placementName := flag.String("placement", "affinity", "device placement at -devices > 1: affinity, least-backlog, or round-robin")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce compatible device ops from concurrent queries submitted within this window into one batched launch (0 = off)")
+	batchMax := flag.Int("batch-max", gpu.DefaultBatchMax, "member ops per batch before an early flush (with -batch-window)")
 	topK := flag.Int("k", 10, "default result count")
 	shards := flag.Int("shards", 1, "document partitions; > 1 serves scatter-gather over a sharded cluster")
 	replicas := flag.Int("replicas", 1, "engine replicas per shard (cluster mode)")
@@ -108,6 +120,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: unknown placement %q (want affinity, least-backlog, or round-robin)\n", *placementName)
 		os.Exit(2)
 	}
+	if *batchWindow < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -batch-window must be >= 0, got %v\n", *batchWindow)
+		os.Exit(2)
+	}
+	if *batchMax <= 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -batch-max must be >= 1, got %d\n", *batchMax)
+		os.Exit(2)
+	}
 
 	f, err := os.Open(*indexPath)
 	exitOn(err)
@@ -130,7 +150,10 @@ func main() {
 			}})
 		}
 		cl, err := cluster.New(ixs, cluster.Config{
-			Engine:       core.Config{Mode: mode, CacheLists: *cache, Devices: *devices, Placement: placement},
+			Engine: core.Config{
+				Mode: mode, CacheLists: *cache, Devices: *devices, Placement: placement,
+				BatchWindow: *batchWindow, BatchMax: *batchMax,
+			},
 			TopK:         *topK,
 			Replicas:     *replicas,
 			Routing:      routing,
@@ -154,6 +177,7 @@ func main() {
 		engine, err := core.New(ix, core.Config{
 			Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
 			Devices: *devices, Placement: placement,
+			BatchWindow: *batchWindow, BatchMax: *batchMax,
 		})
 		exitOn(err)
 		defer engine.Close()
@@ -161,6 +185,9 @@ func main() {
 		devs := ""
 		if *devices > 1 {
 			devs = fmt.Sprintf(", %d devices (%s placement)", *devices, *placementName)
+		}
+		if *batchWindow > 0 {
+			devs += fmt.Sprintf(", batching window=%v max=%d", *batchWindow, *batchMax)
 		}
 		log.Printf("griffin-server: %d docs, %d terms, mode=%s%s, listening on %s",
 			ix.NumDocs, ix.NumTerms(), mode, devs, *addr)

@@ -241,6 +241,25 @@ func (c *Cluster) Mode() core.Mode { return c.cfg.Engine.Mode }
 // Routing returns the replica routing policy.
 func (c *Cluster) RoutingPolicy() Routing { return c.cfg.Routing }
 
+// Batching returns the replica engines' cross-query batching
+// configuration and whether the stage is enabled. Every replica shares
+// one engine config, so the first replica speaks for all.
+func (c *Cluster) Batching() (gpu.BatchConfig, bool) {
+	return c.shards[0].replicas[0].engine.Batching()
+}
+
+// BatchStats aggregates cross-query batching telemetry across every
+// replica's devices (zero value when the stage is disabled).
+func (c *Cluster) BatchStats() gpu.BatchStats {
+	var st gpu.BatchStats
+	for _, g := range c.shards {
+		for _, rep := range g.replicas {
+			st.Add(rep.engine.BatchStats())
+		}
+	}
+	return st
+}
+
 // NumDocs returns the corpus size (shard indexes carry the global count).
 func (c *Cluster) NumDocs() int {
 	return c.shards[0].replicas[0].engine.Index().NumDocs
@@ -573,6 +592,9 @@ type ShardTelemetry struct {
 	// Cache is the replica's resident-list cache counters, aggregated
 	// across the node's devices.
 	Cache core.CacheStats
+	// Batch is the replica's cross-query batching telemetry aggregated
+	// across the node's devices (nil when the batching stage is disabled).
+	Batch *gpu.BatchStats
 }
 
 // now returns the cluster's current modeled time (the untimed clock's
@@ -603,6 +625,10 @@ func (c *Cluster) Telemetry() []ShardTelemetry {
 				if node.Devices() > 1 {
 					t.Devices = node.Stats().Devices
 				}
+			}
+			if _, on := rep.engine.Batching(); on {
+				bs := rep.engine.BatchStats()
+				t.Batch = &bs
 			}
 			out = append(out, t)
 		}

@@ -117,6 +117,20 @@ type Config struct {
 	// threshold — loadsim.RunAdaptive's behaviour promoted into the real
 	// engine (§3.2's load-balancing hook). Zero disables spilling.
 	SpillBacklog time.Duration
+	// BatchWindow enables the device runtimes' cross-query batching stage:
+	// compatible device ops (same engine class and batch key) from
+	// concurrently admitted queries whose submissions fall within this
+	// window of each other coalesce into one batched launch, paying the
+	// fixed launch/DMA/alloc costs once plus a per-member marginal cost
+	// (hwmodel.GPUModel.BatchMemberOverhead). Per-query results are
+	// byte-identical to unbatched execution — batching moves simulated
+	// time, never bytes. Zero disables batching (the pre-batching
+	// submission path, timelines bit for bit); negative is a config error.
+	BatchWindow time.Duration
+	// BatchMax closes a batch when it reaches this many member ops
+	// (flush-on-size); 0 means gpu.DefaultBatchMax. Meaningful only with
+	// BatchWindow > 0; negative is a config error.
+	BatchMax int
 	// BM25 are the scoring parameters; the zero value means defaults.
 	BM25 rank.BM25Params
 	// CacheLists keeps compressed posting lists resident in device memory
@@ -155,6 +169,12 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 	if cfg.Mode != CPUOnly && cfg.Device == nil {
 		return nil, fmt.Errorf("core: mode %v requires a device", cfg.Mode)
 	}
+	if cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("core: negative BatchWindow %v", cfg.BatchWindow)
+	}
+	if cfg.BatchMax < 0 {
+		return nil, fmt.Errorf("core: negative BatchMax %d", cfg.BatchMax)
+	}
 	if cfg.TopK <= 0 {
 		cfg.TopK = 10
 	}
@@ -183,6 +203,9 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 		e.placement = cfg.Placement
 		if e.placement == nil {
 			e.placement = sched.AffinityDevices{}
+		}
+		if cfg.BatchWindow > 0 {
+			e.node.EnableBatching(gpu.BatchConfig{Window: cfg.BatchWindow, Max: cfg.BatchMax})
 		}
 	}
 	if cfg.CacheLists {
@@ -399,7 +422,7 @@ func (e *Engine) placeDevice(terms []string) int {
 	if e.node.Devices() == 1 {
 		return 0
 	}
-	return e.place(terms, e.node.Backlogs())
+	return e.place(terms, e.node.Backlogs(), e.batchSavings())
 }
 
 // placeDeviceAt is placeDevice for explicit-arrival admissions: the
@@ -410,15 +433,31 @@ func (e *Engine) placeDeviceAt(terms []string, arrival time.Duration) int {
 	if e.node.Devices() == 1 {
 		return 0
 	}
-	return e.place(terms, e.node.BacklogsAt(arrival))
+	return e.place(terms, e.node.BacklogsAt(arrival), e.batchSavingsAt(arrival))
 }
 
-func (e *Engine) place(terms []string, backlog []time.Duration) int {
-	info := sched.NodeInfo{Backlog: backlog}
+func (e *Engine) place(terms []string, backlog, batchSaving []time.Duration) int {
+	info := sched.NodeInfo{Backlog: backlog, BatchSaving: batchSaving}
 	if e.caches != nil {
 		info.Saving = e.affinitySavings(terms)
 	}
 	return e.placement.Place(info)
+}
+
+// batchSavings reads the per-device batch-affinity placement signal (nil
+// when the batching stage is disabled, so placement math is untouched).
+func (e *Engine) batchSavings() []time.Duration {
+	if e.cfg.BatchWindow <= 0 {
+		return nil
+	}
+	return e.node.BatchSavings()
+}
+
+func (e *Engine) batchSavingsAt(arrival time.Duration) []time.Duration {
+	if e.cfg.BatchWindow <= 0 {
+		return nil
+	}
+	return e.node.BatchSavingsAt(arrival)
 }
 
 // affinitySavings estimates, per device, the transfer time the query's
@@ -558,6 +597,38 @@ func (e *Engine) Runtime() *gpu.DeviceRuntime {
 // Node returns the engine's multi-device runtime (nil for CPU-only
 // engines) — per-device backlog, utilization, and admission telemetry.
 func (e *Engine) Node() *gpu.NodeRuntime { return e.node }
+
+// Batching returns the engine's cross-query batching configuration and
+// whether the stage is enabled (always false for CPU-only engines, whose
+// plans place no device work).
+func (e *Engine) Batching() (gpu.BatchConfig, bool) {
+	if e.node == nil || e.cfg.BatchWindow <= 0 {
+		return gpu.BatchConfig{}, false
+	}
+	max := e.cfg.BatchMax
+	if max <= 0 {
+		max = gpu.DefaultBatchMax
+	}
+	return gpu.BatchConfig{Window: e.cfg.BatchWindow, Max: max}, true
+}
+
+// BatchStats aggregates the node's cross-query batching telemetry across
+// devices (zero value when the stage is disabled).
+func (e *Engine) BatchStats() gpu.BatchStats {
+	if e.node == nil {
+		return gpu.BatchStats{}
+	}
+	return e.node.BatchStats()
+}
+
+// DeviceBatchStats returns per-device batching telemetry in device order
+// (nil for CPU-only engines).
+func (e *Engine) DeviceBatchStats() []gpu.BatchStats {
+	if e.node == nil {
+		return nil
+	}
+	return e.node.DeviceBatchStats()
+}
 
 // Devices returns the node's device count (1 for CPU-only engines, whose
 // plans place no device work).

@@ -155,6 +155,30 @@ type Op struct {
 	ShortLen, LongLen int
 }
 
+// BatchKey names the operator's cross-query batch-compatibility class —
+// the key the device runtime's batching stage coalesces on
+// (gpu.QueryStream.SubmitOp). Ops with equal keys submitted to the same
+// engine within one coalescing window ride one combined launch / DMA
+// program; intersects key by algorithm so MergePath and binary-skip
+// kernels never share a grid. Empty for host-placed operators (and for
+// kinds with no device form), which opts them out of batching.
+func (op *Op) BatchKey() string {
+	switch op.Kind {
+	case OpUpload:
+		return "upload"
+	case OpDecompress:
+		return "decompress"
+	case OpIntersect:
+		if op.Where != sched.GPU {
+			return ""
+		}
+		return "intersect:" + op.Algo.String()
+	case OpMigrate:
+		return "migrate"
+	}
+	return ""
+}
+
 // Estimate is the operator's cost hook: a closed-form prediction of its
 // simulated duration under the calibrated hardware models, computed from
 // the declared operand sizes alone (no execution). Plan-level estimation

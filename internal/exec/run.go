@@ -269,16 +269,19 @@ func (r *runner) ensureStream() error {
 // runtime handle the item goes through the shared device: it occupies
 // the given engine's queue on the global timeline and the stream is
 // charged queueing delay first when the engine is busy with other
-// queries' work. Without a handle it runs directly on the private
-// stream (no cross-query contention).
-func (r *runner) submitDevice(class gpu.EngineClass, fn func(*gpu.Stream) error) error {
+// queries' work; key (Op.BatchKey) lets the runtime's batching stage
+// coalesce the item with compatible ops from concurrent queries, and
+// the returned membership is threaded into the op's plan record.
+// Without a handle it runs directly on the private stream (no
+// cross-query contention, never batched).
+func (r *runner) submitDevice(class gpu.EngineClass, key string, fn func(*gpu.Stream) error) (gpu.Batched, error) {
 	if err := r.ensureStream(); err != nil {
-		return err
+		return gpu.Batched{}, err
 	}
 	if h := r.ctx.Handle; h != nil {
-		return h.Submit(class, fn)
+		return h.SubmitOp(class, key, fn)
 	}
-	return fn(r.stream)
+	return gpu.Batched{}, fn(r.stream)
 }
 
 // deviceID is the node-relative ordinal of the device this query was
@@ -349,7 +352,7 @@ func (r *runner) exec(op *Op) error {
 		if op.Arg.List == nil {
 			// Raw intermediate upload (host -> device).
 			var buf *gpu.Buffer
-			err := r.submitDevice(gpu.CopyEngine, func(s *gpu.Stream) error {
+			m, err := r.submitDevice(gpu.CopyEngine, op.BatchKey(), func(s *gpu.Stream) error {
 				b, err := s.H2D(r.hostIDs, int64(len(r.hostIDs))*4)
 				buf = b
 				return err
@@ -357,6 +360,7 @@ func (r *runner) exec(op *Op) error {
 			if err != nil {
 				return err
 			}
+			rec.BatchID, rec.BatchSize = m.ID, m.Seq
 			r.track(buf)
 			r.devRes = &kernels.IntersectResult{Out: buf, Count: len(r.hostIDs)}
 			r.onDevice = true
@@ -369,7 +373,7 @@ func (r *runner) exec(op *Op) error {
 				provider = directUpload{}
 			}
 			var dl DeviceList
-			err := r.submitDevice(gpu.CopyEngine, func(s *gpu.Stream) error {
+			m, err := r.submitDevice(gpu.CopyEngine, op.BatchKey(), func(s *gpu.Stream) error {
 				var err error
 				dl, err = provider.DeviceCompressed(s, r.deviceID(), pl)
 				return err
@@ -377,6 +381,7 @@ func (r *runner) exec(op *Op) error {
 			if err != nil {
 				return err
 			}
+			rec.BatchID, rec.BatchSize = m.ID, m.Seq
 			if dl.Release != nil {
 				r.releases = append(r.releases, dl.Release)
 			} else {
@@ -399,7 +404,7 @@ func (r *runner) exec(op *Op) error {
 		start := r.elapsed()
 		pl := op.Arg.List
 		var dec *gpu.Buffer
-		err := r.submitDevice(gpu.ComputeEngine, func(s *gpu.Stream) error {
+		m, err := r.submitDevice(gpu.ComputeEngine, op.BatchKey(), func(s *gpu.Stream) error {
 			d, _, err := kernels.ParaEFDecompress(s, r.entry(pl).comp)
 			dec = d
 			return err
@@ -407,6 +412,7 @@ func (r *runner) exec(op *Op) error {
 		if err != nil {
 			return err
 		}
+		rec.BatchID, rec.BatchSize = m.ID, m.Seq
 		r.track(dec)
 		r.entry(pl).dec = dec
 		rec.Term = pl.Term
@@ -486,7 +492,7 @@ func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
 		shortBuf.Data = r.devRes.Matches()
 	}
 	var out *kernels.IntersectResult
-	err := r.submitDevice(gpu.ComputeEngine, func(s *gpu.Stream) error {
+	m, err := r.submitDevice(gpu.ComputeEngine, op.BatchKey(), func(s *gpu.Stream) error {
 		var err error
 		if op.Algo == AlgoBinarySkips {
 			out, err = kernels.IntersectBinarySkips(s, shortBuf, r.entry(op.Long.List).comp)
@@ -498,6 +504,7 @@ func (r *runner) intersectGPU(op *Op, rec *OpRecord) error {
 	if err != nil {
 		return err
 	}
+	rec.BatchID, rec.BatchSize = m.ID, m.Seq
 	r.track(out.Out)
 	r.devRes = out
 	r.onDevice = true
@@ -523,10 +530,13 @@ func (r *runner) migrate(op *Op, rec *OpRecord) error {
 	start := r.elapsed()
 	d2h := func(buf *gpu.Buffer, bytes int64) ([]uint32, error) {
 		var ids []uint32
-		err := r.submitDevice(gpu.CopyOutEngine, func(s *gpu.Stream) error {
+		m, err := r.submitDevice(gpu.CopyOutEngine, op.BatchKey(), func(s *gpu.Stream) error {
 			ids = s.D2H(buf, bytes).([]uint32)
 			return nil
 		})
+		if err == nil {
+			rec.BatchID, rec.BatchSize = m.ID, m.Seq
+		}
 		return ids, err
 	}
 	switch {

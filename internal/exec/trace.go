@@ -52,6 +52,15 @@ type OpRecord struct {
 	// recorded alongside the measured time so re-planners can judge the
 	// estimator's fidelity.
 	Est time.Duration
+	// BatchID and BatchSize record cross-query batching membership when
+	// the device runtime's batching stage coalesced this operator into a
+	// combined launch: BatchID is the device-unique batch identifier and
+	// BatchSize the operator's 1-based ordinal within it (1 = the batch
+	// leader, which paid the full fixed costs; the final member's ordinal
+	// is the batch's total size). Both zero for unbatched operators —
+	// batching disabled, host-placed, or keyed out.
+	BatchID   int64
+	BatchSize int
 }
 
 // QueryStats aggregates one query's simulated execution.

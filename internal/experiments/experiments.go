@@ -33,6 +33,12 @@ type Config struct {
 	Device *gpu.Device
 	// CPU prices host work.
 	CPU hwmodel.CPUModel
+	// BatchWindow and BatchMax parameterize the batching-on arm of the
+	// batch sweep (RunBatchSweep). Zero selects the sweep's defaults
+	// (2ms window, gpu.DefaultBatchMax members); every other experiment
+	// runs with batching off regardless.
+	BatchWindow time.Duration
+	BatchMax    int
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -85,6 +85,12 @@ func (d *Device) Launches() int64 { return d.launches.Load() }
 type Stream struct {
 	dev     *Device
 	elapsed time.Duration
+	// fixed accumulates the *fixed* component of every charged operation —
+	// launch overhead, DMA setup latency, cudaMalloc overhead — separately
+	// from elapsed. It is what a cross-query batching stage can amortize: a
+	// work item coalesced into an already-open batch pays these costs once
+	// per batch instead of once per op (see DeviceRuntime.EnableBatching).
+	fixed time.Duration
 
 	profiling bool
 	events    []ProfileEvent
@@ -124,6 +130,7 @@ func (s *Stream) Alloc(bytes int64) (*Buffer, error) {
 	took := d.model.AllocTime(bytes)
 	s.record("alloc", "", bytes, s.elapsed, took)
 	s.elapsed += took
+	s.fixed += d.model.AllocOverhead
 	return &Buffer{dev: d, Bytes: bytes}, nil
 }
 
@@ -138,6 +145,7 @@ func (s *Stream) H2D(data any, bytes int64) (*Buffer, error) {
 	took := s.dev.model.TransferTime(bytes)
 	s.record("h2d", "", bytes, s.elapsed, took)
 	s.elapsed += took
+	s.fixed += s.dev.model.PCIeLatency
 	return b, nil
 }
 
@@ -148,6 +156,7 @@ func (s *Stream) D2H(b *Buffer, bytes int64) any {
 	took := s.dev.model.TransferTime(bytes)
 	s.record("d2h", "", bytes, s.elapsed, took)
 	s.elapsed += took
+	s.fixed += s.dev.model.PCIeLatency
 	return b.Data
 }
 
@@ -168,6 +177,7 @@ func (s *Stream) PeerIn(data any, bytes int64) (*Buffer, error) {
 	took := s.dev.model.PeerTransferTime(bytes)
 	s.record("p2p", "", bytes, s.elapsed, took)
 	s.elapsed += took
+	s.fixed += s.dev.model.PeerLatency
 	return b, nil
 }
 
@@ -310,6 +320,7 @@ func (s *Stream) Launch(k *Kernel) *hwmodel.LaunchStats {
 	took := d.model.KernelTime(total)
 	s.record("launch", k.Name, 0, s.elapsed, took)
 	s.elapsed += took
+	s.fixed += d.model.LaunchOverhead
 	return total
 }
 

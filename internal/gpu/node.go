@@ -129,6 +129,59 @@ func (n *NodeRuntime) PendingTime() time.Duration {
 // so injected faults carry the device id in their site names.
 func (n *NodeRuntime) SetSubmitHook(i int, h SubmitHook) { n.devs[i].SetSubmitHook(h) }
 
+// EnableBatching installs the cross-query batching stage on every device
+// (see DeviceRuntime.EnableBatching); a disabled config removes it. Each
+// device batches independently — batches never span devices, just as they
+// never span real GPUs.
+func (n *NodeRuntime) EnableBatching(cfg BatchConfig) {
+	for _, rt := range n.devs {
+		rt.EnableBatching(cfg)
+	}
+}
+
+// BatchStats aggregates the devices' batching telemetry (zero value when
+// batching is disabled).
+func (n *NodeRuntime) BatchStats() BatchStats {
+	var st BatchStats
+	for _, rt := range n.devs {
+		st.Add(rt.BatchStats())
+	}
+	return st
+}
+
+// DeviceBatchStats returns per-device batching telemetry in device order.
+func (n *NodeRuntime) DeviceBatchStats() []BatchStats {
+	out := make([]BatchStats, len(n.devs))
+	for i, rt := range n.devs {
+		out[i] = rt.BatchStats()
+	}
+	return out
+}
+
+// BatchSavings reports, per device, the fixed-cost rebate a freshly
+// admitted query's compute work could expect from that device's open
+// batches — the batch-aware complement of Backlogs that placement
+// policies (sched.NodeInfo.BatchSaving) subtract from queue delay: a
+// device with an open compatible batch is cheaper than its backlog alone
+// suggests.
+func (n *NodeRuntime) BatchSavings() []time.Duration {
+	out := make([]time.Duration, len(n.devs))
+	for i, rt := range n.devs {
+		out[i] = rt.BatchSaving()
+	}
+	return out
+}
+
+// BatchSavingsAt is BatchSavings for a query arriving at an explicit
+// point on the global timeline (the AdmitAtOn placement signal).
+func (n *NodeRuntime) BatchSavingsAt(arrival time.Duration) []time.Duration {
+	out := make([]time.Duration, len(n.devs))
+	for i, rt := range n.devs {
+		out[i] = rt.BatchSavingAt(arrival)
+	}
+	return out
+}
+
 // NodeStats is a telemetry snapshot of the whole node.
 type NodeStats struct {
 	// Devices has one runtime snapshot per device, in device order.

@@ -99,6 +99,9 @@ type DeviceRuntime struct {
 	waited      time.Duration
 	horizon     time.Duration
 	profiling   bool
+	// batch is the cross-query batching stage (nil = disabled, the
+	// pre-batching submission path bit for bit). See batcher.go.
+	batch *batcher
 }
 
 // NewRuntime returns a runtime over dev with the given number of compute
@@ -188,8 +191,17 @@ type QueryStream struct {
 func (rt *DeviceRuntime) Admit() *QueryStream {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if rt.active == 0 && rt.horizon > rt.clock {
-		rt.clock = rt.horizon
+	if rt.active == 0 {
+		if rt.horizon > rt.clock {
+			rt.clock = rt.horizon
+		}
+		// The device drained before this query arrived: no prior query's
+		// work is still pending, so no open batch may absorb this query's
+		// ops. (Timed admissions — AdmitAt — never flush: their overlap
+		// lives on the simulated timeline, not in wall clock.)
+		if rt.batch != nil {
+			rt.batch.flushAll()
+		}
 	}
 	return rt.admitLocked(rt.clock)
 }
@@ -249,18 +261,38 @@ func (h *QueryStream) Arrival() time.Duration { return h.anchor }
 // plan records carry.
 func (h *QueryStream) Device() int { return h.rt.index }
 
-// Submit runs one work item on the given engine. The item becomes ready
-// at the query's current position on the global timeline (anchor +
+// Submit runs one unkeyed work item on the given engine — SubmitOp
+// without batch participation (warmup preloads and legacy callers).
+func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
+	_, err := h.SubmitOp(class, "", fn)
+	return err
+}
+
+// SubmitOp runs one work item on the given engine. The item becomes
+// ready at the query's current position on the global timeline (anchor +
 // stream clock); if the chosen engine lane is still busy with other
 // queries' work, the difference is charged to the query's stream as
 // queueing delay *before* fn runs, then fn executes on the stream and
 // its service time occupies the lane. fn's error is returned unchanged.
 //
+// key names the item's batch-compatibility class (exec.Op.BatchKey).
+// When the runtime's batching stage is enabled and key is non-empty, the
+// item is placed into a per-(engine, key) batch whose coalescing window
+// covers its ready position and that holds no other op of this query
+// (batching is strictly cross-query): the batch leader pays full cost,
+// while followers are rebated the fixed component of their charged time
+// (launch/DMA/alloc overheads) minus the per-member marginal cost —
+// their kernels ride the leader's launch. The rebate shrinks both the
+// query's stream clock and the lane occupancy, which is where batched
+// throughput comes from; results are untouched. An empty key, a disabled
+// stage, or a failed item opts out entirely and the returned membership
+// is the zero Batched.
+//
 // The runtime lock is held across fn: work items serialize in wall
 // clock (kernels stay internally parallel on the block worker pool),
 // which makes admission order — and therefore the whole timeline —
 // coherent without reservations.
-func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
+func (h *QueryStream) SubmitOp(class EngineClass, key string, fn func(*Stream) error) (Batched, error) {
 	rt := h.rt
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -268,7 +300,7 @@ func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
 	ready := h.anchor + h.s.Elapsed()
 	if rt.hook != nil {
 		if err := rt.hook(class, ready); err != nil {
-			return err
+			return Batched{}, err
 		}
 	}
 	ln := rt.pickLane(class)
@@ -285,9 +317,25 @@ func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
 		rt.waited += delay
 	}
 
+	fixedBefore := h.s.fixed
 	before := h.s.Elapsed()
 	err := fn(h.s)
 	took := h.s.Elapsed() - before
+
+	var m Batched
+	if err == nil && rt.batch != nil && key != "" {
+		fixed := h.s.fixed - fixedBefore
+		var rebate time.Duration
+		m, rebate = rt.batch.admit(class, key, h.id, ready, fixed, rt.dev.model.BatchMemberOverhead, took)
+		if rebate > 0 {
+			// Credit the follower's share of the already-paid fixed costs
+			// back to its stream (a negative-duration profile event keeps
+			// the per-op timeline reconstructible).
+			h.s.record("batch", key, int64(m.Seq), h.s.elapsed, -rebate)
+			h.s.elapsed -= rebate
+			took -= rebate
+		}
+	}
 
 	end := start + took
 	ln.busyUntil = end
@@ -302,7 +350,7 @@ func (h *QueryStream) Submit(class EngineClass, fn func(*Stream) error) error {
 	if end > rt.horizon {
 		rt.horizon = end
 	}
-	return err
+	return m, err
 }
 
 // pickLane selects the least-loaded lane of the class (each copy

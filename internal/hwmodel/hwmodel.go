@@ -121,6 +121,14 @@ type GPUModel struct {
 	// distinct from PCIeBytesPerSec so NVLink-class interconnects are a
 	// calibration change, not a code change.
 	PeerBytesPerSec float64
+	// BatchMemberOverhead is the marginal fixed cost each additional
+	// member of a coalesced cross-query batch pays instead of the full
+	// per-op fixed costs (launch, DMA setup, cudaMalloc). When compatible
+	// ops from concurrently queued queries are packed into one grid /
+	// one DMA program, the followers skip the driver round trip and pay
+	// only the indexing prologue that routes their slice of the combined
+	// launch — sub-microsecond on Kepler-era parts.
+	BatchMemberOverhead time.Duration
 }
 
 // DefaultGPU returns the K20-calibrated model the experiments use.
@@ -143,6 +151,7 @@ func DefaultGPU() GPUModel {
 		MemoryBytes:         5 << 30,
 		PeerLatency:         6 * time.Microsecond,
 		PeerBytesPerSec:     12e9,
+		BatchMemberOverhead: 500 * time.Nanosecond,
 	}
 }
 

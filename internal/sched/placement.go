@@ -17,6 +17,13 @@ type NodeInfo struct {
 	// because lists it needs are already resident there (in that device's
 	// cache). Zero-filled — or nil — when the caller tracks no residency.
 	Saving []time.Duration
+	// BatchSaving is each device's modeled batching credit: the fixed-cost
+	// rebate the query's compute work could collect by joining that
+	// device's open cross-query batches (gpu.NodeRuntime.BatchSavings). A
+	// device with an open compatible batch is effectively cheaper than its
+	// backlog alone suggests — the launch its kernels would ride is already
+	// paid for. Nil when the runtime's batching stage is disabled.
+	BatchSaving []time.Duration
 }
 
 // devices returns the device count described by the info.
@@ -64,14 +71,15 @@ func (LeastBacklogDevices) Place(info NodeInfo) int {
 	return best
 }
 
-// AffinityDevices weighs queue length against data residency: it picks
-// the device minimizing backlog minus the upload time its resident lists
-// would save the query. A device holding the query's big lists wins
-// unless its queue is longer than the transfer it saves — the point at
-// which re-uploading elsewhere (or peer-copying, priced separately by
-// the cache layer) beats waiting. With no residency information it
-// degenerates to LeastBacklogDevices. This is the engine's default at
-// devices > 1.
+// AffinityDevices weighs queue length against data residency and batch
+// affinity: it picks the device minimizing backlog minus the upload time
+// its resident lists would save the query minus the fixed-cost rebate its
+// open cross-query batches offer. A device holding the query's big lists
+// (or an open compatible batch) wins unless its queue is longer than the
+// work it saves — the point at which re-uploading elsewhere (or
+// peer-copying, priced separately by the cache layer) beats waiting. With
+// no residency or batching information it degenerates to
+// LeastBacklogDevices. This is the engine's default at devices > 1.
 type AffinityDevices struct{}
 
 // Place implements DevicePlacement.
@@ -80,6 +88,9 @@ func (AffinityDevices) Place(info NodeInfo) int {
 		s := info.Backlog[i]
 		if i < len(info.Saving) {
 			s -= info.Saving[i]
+		}
+		if i < len(info.BatchSaving) {
+			s -= info.BatchSaving[i]
 		}
 		return s
 	}

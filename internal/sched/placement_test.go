@@ -72,6 +72,32 @@ func TestAffinityDevicesWeighsSavingAgainstBacklog(t *testing.T) {
 	}
 }
 
+func TestAffinityDevicesWeighsBatchSaving(t *testing.T) {
+	p := AffinityDevices{}
+	cases := []struct {
+		name        string
+		backlog     []time.Duration
+		saving      []time.Duration
+		batchSaving []time.Duration
+		want        int
+	}{
+		{"batching disabled (nil) degenerates to least backlog",
+			[]time.Duration{ms(5), ms(2)}, nil, nil, 1},
+		{"an open batch outweighs a short queue",
+			[]time.Duration{ms(5), ms(2)}, nil, []time.Duration{ms(4), 0}, 0},
+		{"a long enough queue beats batch affinity",
+			[]time.Duration{ms(9), ms(2)}, nil, []time.Duration{ms(4), 0}, 1},
+		{"batch and residency credits stack",
+			[]time.Duration{ms(9), ms(2)}, []time.Duration{ms(4), 0}, []time.Duration{ms(4), 0}, 0},
+	}
+	for _, c := range cases {
+		info := NodeInfo{Backlog: c.backlog, Saving: c.saving, BatchSaving: c.batchSaving}
+		if got := p.Place(info); got != c.want {
+			t.Fatalf("%s: got device %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
 func TestPlacementByName(t *testing.T) {
 	if _, ok := PlacementByName("").(AffinityDevices); !ok {
 		t.Fatal("empty name is not the affinity default")

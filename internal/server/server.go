@@ -102,6 +102,15 @@ type PlanOpJSON struct {
 	// than a host transfer. Both appear only on multi-GPU engines.
 	Device int  `json:"device,omitempty"`
 	Peer   bool `json:"peer,omitempty"`
+	// BatchID and BatchSize appear when the device runtime's cross-query
+	// batching stage coalesced the operator into a combined launch:
+	// batch_id identifies the batch on its device and batch_size is the
+	// operator's 1-based ordinal within it (1 = the leader, which paid the
+	// batch's full fixed costs; the last member's ordinal is the batch's
+	// final size). Omitted for unbatched operators, so servers running
+	// with batching disabled emit byte-identical traces.
+	BatchID   int64 `json:"batch_id,omitempty"`
+	BatchSize int   `json:"batch_size,omitempty"`
 }
 
 // ShardTraceJSON summarizes one shard's contribution to a traced cluster
@@ -200,6 +209,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				EstTookUS: float64(op.Est) / float64(time.Microsecond),
 				Device:    op.Device,
 				Peer:      op.Peer,
+				BatchID:   op.BatchID,
+				BatchSize: op.BatchSize,
 			}
 		}
 	}
@@ -342,6 +353,11 @@ type StatsResponse struct {
 	// Devices carries one row per node device in device order.
 	Device  *DeviceStatsJSON  `json:"device,omitempty"`
 	Devices []DeviceStatsJSON `json:"devices,omitempty"`
+	// Batching is the cross-query batching stage's configuration and
+	// aggregate telemetry (across devices, and across replicas in cluster
+	// mode); omitted when the stage is disabled so pre-batching /statz
+	// output stays byte-identical.
+	Batching *BatchingJSON `json:"batching,omitempty"`
 	// Degraded counts cluster queries answered partially; Shards carries
 	// one telemetry row per shard replica. Both are cluster-mode only.
 	Degraded int64            `json:"degraded_queries,omitempty"`
@@ -426,6 +442,33 @@ type ShardStatsJSON struct {
 	// Devices has one row per node device when the replica runs a
 	// multi-GPU node (omitted on single-device replicas).
 	Devices []DeviceStatsJSON `json:"devices,omitempty"`
+}
+
+// BatchingJSON reports the cross-query batching stage: its window/size
+// configuration plus lifetime coalescing telemetry. saved_us is simulated
+// device time the combined launches did not spend (fixed launch/DMA/alloc
+// costs rebated to batch followers); window_flushes and size_flushes
+// split batch closings by cause.
+type BatchingJSON struct {
+	WindowUS      float64 `json:"window_us"`
+	Max           int     `json:"max"`
+	Batches       int64   `json:"batches"`
+	Members       int64   `json:"members"`
+	SavedUS       float64 `json:"saved_us"`
+	WindowFlushes int64   `json:"window_flushes"`
+	SizeFlushes   int64   `json:"size_flushes"`
+}
+
+func batchingJSON(cfg gpu.BatchConfig, st gpu.BatchStats) *BatchingJSON {
+	return &BatchingJSON{
+		WindowUS:      float64(cfg.Window) / float64(time.Microsecond),
+		Max:           cfg.Max,
+		Batches:       st.Batches,
+		Members:       st.Members,
+		SavedUS:       float64(st.Saved) / float64(time.Microsecond),
+		WindowFlushes: st.WindowFlushes,
+		SizeFlushes:   st.SizeFlushes,
+	}
 }
 
 func cacheJSON(st core.CacheStats) *CacheStatsJSON {
@@ -523,6 +566,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if caching {
 			resp.Cache = cacheJSON(agg)
 		}
+		if cfg, on := s.cluster.Batching(); on {
+			resp.Batching = batchingJSON(cfg, s.cluster.BatchStats())
+		}
 		writeJSON(w, resp)
 		return
 	}
@@ -539,6 +585,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		for i := 0; i < node.Devices(); i++ {
 			resp.Devices = append(resp.Devices, deviceJSON(node.Runtime(i).Stats()))
 		}
+	}
+	if cfg, on := s.engine.Batching(); on {
+		resp.Batching = batchingJSON(cfg, s.engine.BatchStats())
 	}
 	writeJSON(w, resp)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -716,5 +717,119 @@ func TestClusterStatzChaosSurface(t *testing.T) {
 	}
 	if st.FaultCounts != nil || st.Faults != nil {
 		t.Fatalf("un-faulted cluster reports fault telemetry: %v %v", st.FaultCounts, st.Faults)
+	}
+}
+
+// A batching-enabled server surfaces the stage's configuration and
+// telemetry in /statz; a batching-off server's output must not mention
+// batching at all (the byte-identity guarantee for existing consumers).
+func TestStatsBatchingBlock(t *testing.T) {
+	ix := testIndex(t)
+	mk := func(window time.Duration) *Server {
+		e, err := core.New(ix, core.Config{
+			Mode:        core.Hybrid,
+			Device:      gpu.New(hwmodel.DefaultGPU(), 0),
+			BatchWindow: window,
+			BatchMax:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return New(e)
+	}
+
+	_, body := get(t, mk(0), "/statz")
+	if bytes.Contains(body, []byte("batching")) {
+		t.Fatalf("batching-off /statz mentions batching: %s", body)
+	}
+
+	srv := mk(250 * time.Microsecond)
+	if rec, body := get(t, srv, "/search?q=quick+fox"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	_, body = get(t, srv, "/statz")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batching == nil {
+		t.Fatalf("batching-on /statz has no batching block: %s", body)
+	}
+	if st.Batching.WindowUS != 250 || st.Batching.Max != 4 {
+		t.Fatalf("batching config %+v, want window 250us max 4", st.Batching)
+	}
+	if st.Batching.Batches == 0 || st.Batching.Members < st.Batching.Batches {
+		t.Fatalf("batching counters did not move: %+v", st.Batching)
+	}
+
+	// Cluster servers aggregate the block across replicas.
+	ixs, err := workload.PartitionIndex(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(ixs, cluster.Config{
+		Engine:   core.Config{Mode: core.Hybrid, BatchWindow: 250 * time.Microsecond},
+		TopK:     10,
+		Replicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	csrv := NewCluster(cl)
+	if rec, body := get(t, csrv, "/search?q=quick+fox"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	_, body = get(t, csrv, "/statz")
+	st = StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batching == nil || st.Batching.Batches == 0 {
+		t.Fatalf("cluster batching block missing or empty: %s", body)
+	}
+}
+
+// Trace records carry batch membership only when the op actually joined
+// a batch: batching-off traces must not mention batch_id (byte identity),
+// batching-on traces mark each keyed device op with its batch and 1-based
+// ordinal.
+func TestSearchTraceBatchFields(t *testing.T) {
+	ix := testIndex(t)
+	mk := func(window time.Duration) *Server {
+		e, err := core.New(ix, core.Config{
+			Mode:        core.GPUOnly,
+			Device:      gpu.New(hwmodel.DefaultGPU(), 0),
+			BatchWindow: window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return New(e)
+	}
+
+	_, body := get(t, mk(0), "/search?q=quick+fox&trace=1")
+	if bytes.Contains(body, []byte("batch_id")) {
+		t.Fatalf("batching-off trace mentions batch_id: %s", body)
+	}
+
+	_, body = get(t, mk(time.Millisecond), "/search?q=quick+fox&trace=1")
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	batched := 0
+	for _, op := range resp.Plan {
+		if op.BatchID != 0 {
+			batched++
+			if op.BatchSize < 1 {
+				t.Fatalf("op %q in batch %d has ordinal %d", op.Op, op.BatchID, op.BatchSize)
+			}
+		}
+	}
+	if batched == 0 {
+		t.Fatalf("batching-on trace has no batch members: %+v", resp.Plan)
 	}
 }
