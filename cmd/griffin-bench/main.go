@@ -29,7 +29,7 @@ import (
 // experimentNames are the valid -only keys, in run order.
 var experimentNames = []string{
 	"table1", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos",
+	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos", "ingest",
 }
 
 func main() {
@@ -221,6 +221,13 @@ func main() {
 		_, tc, err := experiments.RunChaosSweep(cfg)
 		exitOn(err)
 		emit(tc)
+	}
+
+	if run("ingest") {
+		fmt.Println("driving mixed read/write load with merging off and on...")
+		_, ti, err := experiments.RunIngestSweep(cfg)
+		exitOn(err)
+		emit(ti)
 	}
 
 	if *jsonPath != "" {

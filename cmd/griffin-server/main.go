@@ -9,6 +9,8 @@
 //	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
 //	griffin-server -index index.grif -shards 4 -replicas 2 -chaos-rate 0.05 -hedge-delay 2ms
 //	griffin-server -index index.grif -batch-window 200us -batch-max 16
+//	griffin-server -index index.grif -ingest -merge-threshold 4096 -freshness-threshold 10000
+//	griffin-server -index index.grif -ingest -shards 4 -split-watermark 2000000
 //
 // With -shards N > 1 the loaded index is document-partitioned into N
 // shards (global BM25 statistics preserved, so results are identical to
@@ -38,14 +40,27 @@
 // /statz carries the self-healing counters and fault log (see
 // docs/robustness.md).
 //
+// With -ingest the loaded index becomes the seed segment of a live
+// engine (or live cluster at -shards > 1): POST /ingest accepts
+// add/update/delete mutations that are visible to the next /search
+// through an in-memory delta, background merges fold the delta into the
+// compressed main segment once it crosses -merge-threshold (contending
+// with queries on the shared simulated device), /statz grows an
+// "ingest" block, and /healthz reports "degraded" — still serving —
+// when merge lag exceeds -freshness-threshold. In cluster mode
+// -split-watermark splits a shard whose live document count crosses it,
+// re-routing mid-flight. See docs/ingest.md.
+//
 // Endpoints:
 //
-//	GET /search?q=terms&k=10   ranked results + simulated latency
-//	GET /healthz               liveness + index/topology stats
-//	GET /statz                 served-query counters + per-shard telemetry
+//	GET  /search?q=terms&k=10   ranked results + simulated latency
+//	GET  /healthz               liveness + index/topology stats
+//	GET  /statz                 served-query counters + per-shard telemetry
+//	POST /ingest                one mutation (with -ingest): {"op","doc_id","tokens"|"text"}
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
-// closes immediately, in-flight requests get a drain window.
+// closes immediately, in-flight requests get a drain window, and live
+// engines then drain in-flight background merges before exit.
 package main
 
 import (
@@ -66,6 +81,7 @@ import (
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
+	"griffin/internal/ingest"
 	"griffin/internal/sched"
 	"griffin/internal/server"
 	"griffin/internal/workload"
@@ -91,6 +107,11 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before half-open probes (cluster mode, 0 = default)")
 	chaosRate := flag.Float64("chaos-rate", 0, "inject seeded faults at this base rate (cluster mode, 0 = off); mix: kernel/transfer/stall at rate, reset at rate/4, engine-error at rate/2")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-rate)")
+	ingestOn := flag.Bool("ingest", false, "accept live mutations on POST /ingest (delta index + background merge)")
+	mergeThreshold := flag.Int("merge-threshold", 4096, "unmerged delta records making a merge due (with -ingest; 0 = manual merges only)")
+	mergeAuto := flag.Bool("merge-auto", true, "merge in the background when the delta crosses -merge-threshold (with -ingest)")
+	freshness := flag.Int("freshness-threshold", 0, "merge lag past which /healthz reports degraded (with -ingest; 0 = no check)")
+	splitWatermark := flag.Int("split-watermark", 0, "live docs per shard triggering a shard split (with -ingest -shards > 1; 0 = off)")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain window on shutdown")
 	flag.Parse()
 
@@ -128,6 +149,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: -batch-max must be >= 1, got %d\n", *batchMax)
 		os.Exit(2)
 	}
+	if *mergeThreshold < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -merge-threshold must be >= 0, got %d\n", *mergeThreshold)
+		os.Exit(2)
+	}
+	if *freshness < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -freshness-threshold must be >= 0, got %d\n", *freshness)
+		os.Exit(2)
+	}
+	if *splitWatermark < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -split-watermark must be >= 0, got %d\n", *splitWatermark)
+		os.Exit(2)
+	}
+	if !*ingestOn {
+		if *freshness > 0 || *splitWatermark > 0 {
+			fmt.Fprintln(os.Stderr, "griffin-server: -freshness-threshold and -split-watermark require -ingest")
+			os.Exit(2)
+		}
+	} else if *mergeAuto && *mergeThreshold == 0 {
+		fmt.Fprintln(os.Stderr, "griffin-server: -merge-auto needs -merge-threshold > 0 (or pass -merge-auto=false for manual merges)")
+		os.Exit(2)
+	}
+	if *splitWatermark > 0 && *shards <= 1 {
+		fmt.Fprintln(os.Stderr, "griffin-server: -split-watermark requires -shards > 1")
+		os.Exit(2)
+	}
 
 	f, err := os.Open(*indexPath)
 	exitOn(err)
@@ -137,8 +183,6 @@ func main() {
 
 	var handler http.Handler
 	if *shards > 1 {
-		ixs, err := workload.PartitionIndex(ix, *shards)
-		exitOn(err)
 		var inj *fault.Injector
 		if *chaosRate > 0 {
 			inj = fault.NewInjector(fault.Plan{Seed: *chaosSeed, Rules: []fault.Rule{
@@ -149,7 +193,7 @@ func main() {
 				{Kind: fault.ShardStall, Rate: *chaosRate, Stall: 3 * time.Millisecond},
 			}})
 		}
-		cl, err := cluster.New(ixs, cluster.Config{
+		ccfg := cluster.Config{
 			Engine: core.Config{
 				Mode: mode, CacheLists: *cache, Devices: *devices, Placement: placement,
 				BatchWindow: *batchWindow, BatchMax: *batchMax,
@@ -162,32 +206,66 @@ func main() {
 			Retries:      *retries,
 			Breaker:      fault.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 			Fault:        inj,
-		})
-		exitOn(err)
-		defer cl.Close()
-		handler = server.NewCluster(cl)
+		}
+		live := ""
+		if *ingestOn {
+			lc, err := ingest.NewCluster(ix, ingest.ClusterConfig{
+				Shards:         *shards,
+				Cluster:        ccfg,
+				MergeThreshold: *mergeThreshold,
+				AutoMerge:      *mergeAuto,
+				SplitWatermark: *splitWatermark,
+			})
+			exitOn(err)
+			// Close after serve() drains HTTP: waits out in-flight
+			// background merges so no merge is torn by shutdown.
+			defer lc.Close()
+			handler = server.NewLiveCluster(lc, *freshness)
+			live = fmt.Sprintf(", live ingest (merge at %d, auto=%v, watermark %d)",
+				*mergeThreshold, *mergeAuto, *splitWatermark)
+		} else {
+			ixs, err := workload.PartitionIndex(ix, *shards)
+			exitOn(err)
+			cl, err := cluster.New(ixs, ccfg)
+			exitOn(err)
+			defer cl.Close()
+			handler = server.NewCluster(cl)
+		}
 		chaos := ""
 		if inj != nil {
 			chaos = fmt.Sprintf(", chaos rate=%.2f seed=%d", *chaosRate, *chaosSeed)
 		}
-		log.Printf("griffin-server: %d docs, %d terms, mode=%s, %d shards x %d replicas (%s)%s, listening on %s",
-			ix.NumDocs, ix.NumTerms(), mode, *shards, *replicas, routing, chaos, *addr)
+		log.Printf("griffin-server: %d docs, %d terms, mode=%s, %d shards x %d replicas (%s)%s%s, listening on %s",
+			ix.NumDocs, ix.NumTerms(), mode, *shards, *replicas, routing, chaos, live, *addr)
 	} else {
 		dev := gpu.New(hwmodel.DefaultGPU(), 0)
-		engine, err := core.New(ix, core.Config{
+		ecfg := core.Config{
 			Mode: mode, Device: dev, TopK: *topK, CacheLists: *cache,
 			Devices: *devices, Placement: placement,
 			BatchWindow: *batchWindow, BatchMax: *batchMax,
-		})
-		exitOn(err)
-		defer engine.Close()
-		handler = server.New(engine)
+		}
 		devs := ""
 		if *devices > 1 {
 			devs = fmt.Sprintf(", %d devices (%s placement)", *devices, *placementName)
 		}
 		if *batchWindow > 0 {
 			devs += fmt.Sprintf(", batching window=%v max=%d", *batchWindow, *batchMax)
+		}
+		if *ingestOn {
+			e, err := ingest.New(ix, ingest.Config{
+				Engine:         ecfg,
+				MergeThreshold: *mergeThreshold,
+				AutoMerge:      *mergeAuto,
+			})
+			exitOn(err)
+			defer e.Close() // after HTTP drain: waits out background merges
+			handler = server.NewLive(e, *freshness)
+			devs += fmt.Sprintf(", live ingest (merge at %d, auto=%v)", *mergeThreshold, *mergeAuto)
+		} else {
+			engine, err := core.New(ix, ecfg)
+			exitOn(err)
+			defer engine.Close()
+			handler = server.New(engine)
 		}
 		log.Printf("griffin-server: %d docs, %d terms, mode=%s%s, listening on %s",
 			ix.NumDocs, ix.NumTerms(), mode, devs, *addr)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"griffin/internal/core"
+	"griffin/internal/exec"
 	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/hwmodel"
@@ -168,12 +169,7 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", s, r, err)
 			}
 			site := fmt.Sprintf("s%dr%d", s, r)
-			rep := &replica{
-				engine:  eng,
-				site:    site,
-				breaker: fault.NewBreaker(cfg.Breaker),
-				inj:     cfg.Fault,
-			}
+			rep := newReplica(eng, site, fault.NewBreaker(cfg.Breaker), cfg.Fault)
 			if cfg.Fault != nil {
 				if node := eng.Node(); node != nil {
 					// One hook per device, each at its own site name
@@ -217,13 +213,52 @@ func (c *Cluster) retryBackoff() time.Duration {
 	return DefaultRetryBackoff
 }
 
-// Close releases every replica engine's device resources.
+// Close releases every replica engine's device resources. Engines with
+// in-flight sub-queries retire when those queries finish.
 func (c *Cluster) Close() {
 	for _, g := range c.shards {
 		for _, r := range g.replicas {
-			r.engine.Close()
+			r.close()
 		}
 	}
+}
+
+// ReplaceShard atomically swaps one shard's serving index: every replica
+// of the shard gets a fresh engine over ix that adopts its predecessor's
+// device node — simulated timelines, submit hooks (fault sites), and the
+// batching stage survive the swap — and the predecessor retires when its
+// last in-flight sub-query finishes (epoch-based reclamation, no pause).
+// This is the live-ingestion merge commit path: a background merge
+// re-encodes a shard's postings and publishes the result here while
+// traffic keeps flowing.
+func (c *Cluster) ReplaceShard(shard int, ix *index.Index) error {
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("cluster: replace shard %d of %d", shard, len(c.shards))
+	}
+	for ri, rep := range c.shards[shard].replicas {
+		ecfg := c.cfg.Engine
+		ecfg.TopK = c.cfg.TopK
+		ecfg.Runtime = nil
+		ecfg.Device = nil
+		ecfg.Node = rep.engine().Node() // nil for CPU-only replicas
+		eng, err := core.New(ix, ecfg)
+		if err != nil {
+			return fmt.Errorf("cluster: replace shard %d replica %d: %w", shard, ri, err)
+		}
+		rep.swap(eng)
+	}
+	return nil
+}
+
+// ShardNode returns shard's replica-0 device node (nil for CPU-only
+// replicas) — the shared timeline live merges price their re-encode on.
+func (c *Cluster) ShardNode(shard int) *gpu.NodeRuntime {
+	return c.shards[shard].replicas[0].engine().Node()
+}
+
+// ShardIndex returns shard's currently served index.
+func (c *Cluster) ShardIndex(shard int) *index.Index {
+	return c.shards[shard].replicas[0].engine().Index()
 }
 
 // NumShards returns the shard count.
@@ -245,7 +280,7 @@ func (c *Cluster) RoutingPolicy() Routing { return c.cfg.Routing }
 // configuration and whether the stage is enabled. Every replica shares
 // one engine config, so the first replica speaks for all.
 func (c *Cluster) Batching() (gpu.BatchConfig, bool) {
-	return c.shards[0].replicas[0].engine.Batching()
+	return c.shards[0].replicas[0].engine().Batching()
 }
 
 // BatchStats aggregates cross-query batching telemetry across every
@@ -254,7 +289,7 @@ func (c *Cluster) BatchStats() gpu.BatchStats {
 	var st gpu.BatchStats
 	for _, g := range c.shards {
 		for _, rep := range g.replicas {
-			st.Add(rep.engine.BatchStats())
+			st.Add(rep.engine().BatchStats())
 		}
 	}
 	return st
@@ -262,7 +297,7 @@ func (c *Cluster) BatchStats() gpu.BatchStats {
 
 // NumDocs returns the corpus size (shard indexes carry the global count).
 func (c *Cluster) NumDocs() int {
-	return c.shards[0].replicas[0].engine.Index().NumDocs
+	return c.shards[0].replicas[0].engine().Index().NumDocs
 }
 
 // ShardStats records one shard's contribution to a query.
@@ -338,7 +373,28 @@ type Result struct {
 // plans abort at the next operator boundary and Search returns ctx's
 // error without waiting for them. A nil ctx means no cancellation.
 func (c *Cluster) Search(ctx context.Context, terms []string) (*Result, error) {
-	return c.search(ctx, terms, 0, false)
+	return c.search(ctx, terms, 0, false, nil)
+}
+
+// Overlay supplies per-shard execution overlays for one query — the
+// live-ingestion read path. Shard s's sub-query threads Shard(s) into
+// its engine: the delta view reconciles the shard's main-segment
+// intersection with unmerged mutations, and the overlay scorer carries
+// the cluster's *global* live collection statistics, the running
+// analogue of workload.PartitionIndex's GlobalN stamping. A nil overlay
+// (or a nil Shard(s)) takes the frozen-corpus path unchanged.
+type Overlay interface {
+	Shard(s int) *exec.Overlay
+}
+
+// SearchOverlay is Search with a per-shard live-delta overlay.
+func (c *Cluster) SearchOverlay(ctx context.Context, terms []string, ov Overlay) (*Result, error) {
+	return c.search(ctx, terms, 0, false, ov)
+}
+
+// SearchOverlayAt is SearchAt with a per-shard live-delta overlay.
+func (c *Cluster) SearchOverlayAt(ctx context.Context, terms []string, arrival time.Duration, ov Overlay) (*Result, error) {
+	return c.search(ctx, terms, arrival, true, ov)
 }
 
 // SearchAt runs one cluster query arriving at an explicit simulated time
@@ -348,7 +404,7 @@ func (c *Cluster) Search(ctx context.Context, terms []string) (*Result, error) {
 // latency is the arrival-to-completion sojourn of the slowest shard plus
 // merge.
 func (c *Cluster) SearchAt(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
-	return c.search(ctx, terms, arrival, true)
+	return c.search(ctx, terms, arrival, true, nil)
 }
 
 // shardOutcome is one shard's gathered sub-query: the attempt that
@@ -364,7 +420,7 @@ type shardOutcome struct {
 	hedgeWon  bool
 }
 
-func (c *Cluster) search(parent context.Context, terms []string, arrival time.Duration, timed bool) (*Result, error) {
+func (c *Cluster) search(parent context.Context, terms []string, arrival time.Duration, timed bool, ov Overlay) (*Result, error) {
 	c.queries.Add(1)
 	// "Now" for breakers and fault schedules: the arrival for timed
 	// queries, a 1ms-per-query internal clock otherwise.
@@ -384,11 +440,15 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 	outs := make([]shardOutcome, len(c.shards))
 	var wg sync.WaitGroup
 	for s, g := range c.shards {
+		var shOv *exec.Overlay
+		if ov != nil {
+			shOv = ov.Shard(s)
+		}
 		wg.Add(1)
-		go func(s int, g *shardGroup) {
+		go func(s int, g *shardGroup, shOv *exec.Overlay) {
 			defer wg.Done()
-			outs[s] = c.searchShard(ctx, g, terms, arrival, timed, now)
-		}(s, g)
+			outs[s] = c.searchShard(ctx, g, terms, arrival, timed, now, shOv)
+		}(s, g, shOv)
 	}
 	if ctx != nil {
 		done := make(chan struct{})
@@ -484,13 +544,13 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 // breaker and sheds traffic to a healthy sibling. The returned duration
 // is the attempt's effective latency (engine latency plus any injected
 // stall); it is zero when err is non-nil.
-func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arrival time.Duration, timed bool, now time.Duration) (*core.Result, time.Duration, error) {
+func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay) (*core.Result, time.Duration, error) {
 	stall, err := c.cfg.Fault.AdmitQuery(rep.site, now)
 	if err != nil {
 		rep.breaker.Record(now, false)
 		return nil, 0, err
 	}
-	res, err := rep.search(ctx, terms, arrival, timed)
+	res, err := rep.search(ctx, terms, arrival, timed, ov)
 	if err != nil {
 		rep.breaker.Record(now, false)
 		return nil, 0, err
@@ -507,11 +567,11 @@ func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arr
 // searchShard serves one shard of one query: route (breaker-aware),
 // attempt, retry on a sibling with modeled backoff while the budget
 // lasts, then hedge a slow result on a sibling when configured.
-func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string, arrival time.Duration, timed bool, now time.Duration) shardOutcome {
+func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay) shardOutcome {
 	var out shardOutcome
 	ri, rep := g.pick(c.cfg.Routing, now)
 	out.replica = ri
-	res, eff, err := c.attempt(ctx, rep, terms, arrival, timed, now)
+	res, eff, err := c.attempt(ctx, rep, terms, arrival, timed, now, ov)
 	out.res, out.effective, out.err = res, eff, err
 
 	// Sibling retries: each failed attempt is charged the backoff before
@@ -531,7 +591,7 @@ func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string
 		waited += backoff
 		prev := out.replica
 		ri, rep = g.pickExcluding(c.cfg.Routing, now+waited, prev)
-		res, eff, err = c.attempt(ctx, rep, terms, arrival+waited, timed, now+waited)
+		res, eff, err = c.attempt(ctx, rep, terms, arrival+waited, timed, now+waited, ov)
 		if err == nil {
 			out.replica, out.res, out.err = ri, res, nil
 			out.effective = waited + eff
@@ -558,7 +618,7 @@ func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string
 		hi, hrep := g.pickExcluding(c.cfg.Routing, hNow, out.replica)
 		out.hedged = true
 		c.hedges.Add(1)
-		hres, heff, herr := c.attempt(ctx, hrep, terms, arrival+c.cfg.HedgeDelay, timed, hNow)
+		hres, heff, herr := c.attempt(ctx, hrep, terms, arrival+c.cfg.HedgeDelay, timed, hNow, ov)
 		if herr == nil {
 			if hedgePath := c.cfg.HedgeDelay + heff; hedgePath < out.effective {
 				out.replica, out.res, out.effective = hi, hres, hedgePath
@@ -617,17 +677,17 @@ func (c *Cluster) Telemetry() []ShardTelemetry {
 				Queries:      rep.served.Load(),
 				Breaker:      rep.breaker.State(now).String(),
 				BreakerTrips: rep.breaker.Trips(),
-				Cache:        rep.engine.CacheStats(),
+				Cache:        rep.engine().CacheStats(),
 			}
-			if node := rep.engine.Node(); node != nil {
+			if node := rep.engine().Node(); node != nil {
 				st := node.Runtime(0).Stats()
 				t.Device = &st
 				if node.Devices() > 1 {
 					t.Devices = node.Stats().Devices
 				}
 			}
-			if _, on := rep.engine.Batching(); on {
-				bs := rep.engine.BatchStats()
+			if _, on := rep.engine().Batching(); on {
+				bs := rep.engine().BatchStats()
 				t.Batch = &bs
 			}
 			out = append(out, t)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"griffin/internal/core"
+	"griffin/internal/exec"
 	"griffin/internal/fault"
 )
 
@@ -39,9 +40,25 @@ func (r Routing) String() string {
 	return "round-robin"
 }
 
+// engineRef is one refcounted engine incarnation of a replica. Live
+// index swaps (ReplaceShard) publish a successor and drop the current
+// reference; the engine closes — releasing its device-resident caches —
+// when the last in-flight sub-query pinning it finishes.
+type engineRef struct {
+	eng  *core.Engine
+	refs atomic.Int64
+}
+
+func (er *engineRef) release() {
+	if er.refs.Add(-1) == 0 {
+		er.eng.Close()
+	}
+}
+
 // replica is one engine serving a shard.
 type replica struct {
-	engine *core.Engine
+	// cur is the serving engine, swapped atomically by ReplaceShard.
+	cur atomic.Pointer[engineRef]
 	// site names this replica at fault-injection points ("s2r1").
 	site string
 	// breaker gates traffic to the replica; never nil.
@@ -54,6 +71,49 @@ type replica struct {
 	served   atomic.Int64
 }
 
+func newReplica(eng *core.Engine, site string, breaker *fault.Breaker, inj *fault.Injector) *replica {
+	r := &replica{site: site, breaker: breaker, inj: inj}
+	er := &engineRef{eng: eng}
+	er.refs.Store(1) // the "current" reference, dropped on swap/close
+	r.cur.Store(er)
+	return r
+}
+
+// engine returns the current serving engine without pinning it — the
+// telemetry read path, safe for state that tolerates a concurrent swap.
+// Sub-queries go through acquire instead.
+func (r *replica) engine() *core.Engine { return r.cur.Load().eng }
+
+// acquire pins the current engine incarnation for one sub-query.
+func (r *replica) acquire() *engineRef {
+	for {
+		er := r.cur.Load()
+		if er.refs.Add(1) <= 1 {
+			// Fully drained already (swapped out): undo and retry.
+			er.refs.Add(-1)
+			continue
+		}
+		if r.cur.Load() == er {
+			return er
+		}
+		er.release()
+	}
+}
+
+// swap publishes a successor engine; the predecessor retires when its
+// last in-flight sub-query finishes.
+func (r *replica) swap(eng *core.Engine) {
+	er := &engineRef{eng: eng}
+	er.refs.Store(1)
+	old := r.cur.Swap(er)
+	old.release()
+}
+
+// close drops the current reference (cluster shutdown).
+func (r *replica) close() {
+	r.cur.Load().release()
+}
+
 // backlog returns the replica's routing signal: the least-loaded
 // device's pending compute time (the node-level sched.DeviceBacklog
 // view) plus that device's remaining injected reset window, or zero for
@@ -62,7 +122,7 @@ type replica struct {
 // reset window is charged at its own fault site, so one resetting GPU of
 // a node does not poison routing to its healthy siblings.
 func (r *replica) backlog(now time.Duration) time.Duration {
-	node := r.engine.Node()
+	node := r.engine().Node()
 	if node == nil {
 		return r.inj.ResetRemaining(r.site, now)
 	}
@@ -79,15 +139,18 @@ func (r *replica) backlog(now time.Duration) time.Duration {
 }
 
 // search runs one sub-query, tracking in-flight and served counters for
-// the router and telemetry.
-func (r *replica) search(ctx context.Context, terms []string, arrival time.Duration, timed bool) (*core.Result, error) {
+// the router and telemetry. The engine incarnation is pinned for the
+// query's whole execution: a concurrent index swap never tears a result.
+func (r *replica) search(ctx context.Context, terms []string, arrival time.Duration, timed bool, ov *exec.Overlay) (*core.Result, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
 	r.served.Add(1)
+	er := r.acquire()
+	defer er.release()
 	if timed {
-		return r.engine.SearchAtContext(ctx, terms, arrival)
+		return er.eng.SearchOverlayAtContext(ctx, terms, arrival, ov)
 	}
-	return r.engine.SearchContext(ctx, terms)
+	return er.eng.SearchOverlayContext(ctx, terms, ov)
 }
 
 // shardGroup is one shard's replica set.

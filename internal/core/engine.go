@@ -107,6 +107,16 @@ type Config struct {
 	// queueing delay (Stats.GPUWait) when they are busy. A caller-built
 	// Runtime becomes the node's only device (Devices is ignored).
 	Runtime *gpu.DeviceRuntime
+	// Node adopts an existing multi-device runtime wholesale: the new
+	// engine shares the node's per-device timelines, submit hooks, and
+	// batching stage instead of building its own. This is how a live
+	// index swap (background merge publishing a re-encoded segment)
+	// replaces the engine without resetting device state: in-flight
+	// queries on the old engine and new queries on its successor contend
+	// for the same modeled devices. Device, Devices, Streams, and
+	// Placement's node-construction role are ignored when set; takes
+	// precedence over Runtime.
+	Node *gpu.NodeRuntime
 	// Streams bounds each device runtime's simulated compute lanes when
 	// the engine builds its own node (0 = 1, the K20's single compute
 	// engine). Ignored when Runtime is set.
@@ -166,6 +176,11 @@ type Engine struct {
 
 // New builds an engine, validating that GPU modes have a device.
 func New(ix *index.Index, cfg Config) (*Engine, error) {
+	if cfg.Node != nil && cfg.Device == nil {
+		// Adopting a node: device 0's simulated GPU is the engine's
+		// device, exactly as NewNode would have arranged it.
+		cfg.Device = cfg.Node.Runtime(0).Device()
+	}
 	if cfg.Mode != CPUOnly && cfg.Device == nil {
 		return nil, fmt.Errorf("core: mode %v requires a device", cfg.Mode)
 	}
@@ -195,16 +210,22 @@ func New(ix *index.Index, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{ix: ix, cfg: cfg, scorer: rank.NewScorer(ix, cfg.BM25)}
 	if cfg.Device != nil {
-		if cfg.Runtime != nil {
+		adopted := cfg.Node != nil
+		switch {
+		case adopted:
+			e.node = cfg.Node
+		case cfg.Runtime != nil:
 			e.node = gpu.WrapNode(cfg.Runtime)
-		} else {
+		default:
 			e.node = gpu.NewNode(cfg.Device, cfg.Devices, cfg.Streams)
 		}
 		e.placement = cfg.Placement
 		if e.placement == nil {
 			e.placement = sched.AffinityDevices{}
 		}
-		if cfg.BatchWindow > 0 {
+		// An adopted node keeps whatever batching stage it already runs;
+		// re-enabling would reset its telemetry mid-serve.
+		if cfg.BatchWindow > 0 && !adopted {
 			e.node.EnableBatching(gpu.BatchConfig{Window: cfg.BatchWindow, Max: cfg.BatchMax})
 		}
 	}
@@ -383,12 +404,21 @@ func (e *Engine) Search(terms []string) (*Result, error) {
 // needs the answer — a cluster query whose hedge already won, a closed
 // HTTP request — aborts the remaining work with ctx's error.
 func (e *Engine) SearchContext(ctx context.Context, terms []string) (*Result, error) {
+	return e.SearchOverlayContext(ctx, terms, nil)
+}
+
+// SearchOverlayContext is SearchContext with a live-ingestion overlay:
+// the query executes against this engine's main segment plus the pinned
+// delta view, and the overlay's scorer evaluates the snapshot's
+// collection statistics. A nil overlay (or one with an empty view and
+// nil scorer) degenerates to the frozen-corpus path byte for byte.
+func (e *Engine) SearchOverlayContext(ctx context.Context, terms []string, ov *exec.Overlay) (*Result, error) {
 	var h *gpu.QueryStream
 	if e.node != nil {
 		h = e.node.AdmitOn(e.placeDevice(terms))
 		defer h.Release()
 	}
-	return e.search(ctx, terms, h)
+	return e.search(ctx, terms, h, ov)
 }
 
 // SearchAt runs one query arriving at an explicit simulated time on the
@@ -404,12 +434,18 @@ func (e *Engine) SearchAt(terms []string, arrival time.Duration) (*Result, error
 // SearchAtContext is SearchAt with a cancellation context (see
 // SearchContext).
 func (e *Engine) SearchAtContext(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
+	return e.SearchOverlayAtContext(ctx, terms, arrival, nil)
+}
+
+// SearchOverlayAtContext is SearchAtContext with a live-ingestion
+// overlay (see SearchOverlayContext).
+func (e *Engine) SearchOverlayAtContext(ctx context.Context, terms []string, arrival time.Duration, ov *exec.Overlay) (*Result, error) {
 	var h *gpu.QueryStream
 	if e.node != nil {
 		h = e.node.AdmitAtOn(e.placeDeviceAt(terms, arrival), arrival)
 		defer h.Release()
 	}
-	return e.search(ctx, terms, h)
+	return e.search(ctx, terms, h, ov)
 }
 
 // placeDevice chooses the device for one query. Single-device nodes skip
@@ -482,7 +518,7 @@ func (e *Engine) affinitySavings(terms []string) []time.Duration {
 	return out
 }
 
-func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStream) (*Result, error) {
+func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStream, ov *exec.Overlay) (*Result, error) {
 	fetches := make([]exec.Fetch, len(terms))
 	for i, t := range terms {
 		fetches[i] = exec.Fetch{Term: t}
@@ -508,10 +544,16 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 		SkipThreshold: e.cfg.CPUSkipThreshold,
 		TopK:          e.cfg.TopK,
 	}
+	if ov != nil {
+		ctx.Delta = ov.Delta
+		if ov.Scorer != nil {
+			ctx.Scorer = ov.Scorer
+		}
+	}
 	out, err := exec.Run(ctx, fetches, e.planBuilder(e.queryPolicy(h)))
 	if err != nil {
 		if fault.IsDeviceFault(err) && !e.cfg.NoCPUFallback && e.cfg.Mode != CPUOnly {
-			return e.fallbackCPU(cancel, fetches, h, err)
+			return e.fallbackCPU(cancel, fetches, h, ov, err)
 		}
 		return nil, err
 	}
@@ -526,7 +568,7 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 // plus queueing delay) is charged to the fallback's stats as
 // FaultWasted/GPUTime: the failed attempt happened on the timeline even
 // though its results were discarded.
-func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gpu.QueryStream, cause error) (*Result, error) {
+func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gpu.QueryStream, ov *exec.Overlay, cause error) (*Result, error) {
 	var wasted time.Duration
 	if h != nil {
 		wasted = h.Stream().Elapsed()
@@ -537,6 +579,14 @@ func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gp
 		Scorer:        e.scorer,
 		SkipThreshold: e.cfg.CPUSkipThreshold,
 		TopK:          e.cfg.TopK,
+	}
+	if ov != nil {
+		// The fallback re-plans on the CPU but keeps the query's pinned
+		// snapshot: same delta view, same statistics, same results.
+		ctx.Delta = ov.Delta
+		if ov.Scorer != nil {
+			ctx.Scorer = ov.Scorer
+		}
 	}
 	out, err := exec.Run(ctx, fetches, func(ordered []*index.PostingList) exec.Builder {
 		return exec.NewCPUBuilder(ordered)

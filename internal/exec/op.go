@@ -48,6 +48,12 @@ const (
 	OpScore
 	// OpTopK selects the k best candidates (host partial sort, Figure 7).
 	OpTopK
+	// OpDeltaScan reconciles the intersection with the query's pinned
+	// delta-index view (live ingestion): candidates superseded by the
+	// delta (tombstoned or updated documents) are filtered out and the
+	// delta's own qualifying documents are merged in. Host-placed; runs
+	// after the main-segment plan and before scoring.
+	OpDeltaScan
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +73,8 @@ func (k OpKind) String() string {
 		return "score"
 	case OpTopK:
 		return "topk"
+	case OpDeltaScan:
+		return "delta-scan"
 	default:
 		return "unknown"
 	}
@@ -214,6 +222,13 @@ func (op *Op) Estimate(cpuM *hwmodel.CPUModel, gpuM *hwmodel.GPUModel) time.Dura
 		return cpuM.Time(hwmodel.CPUWork{ScoredDocs: int64(op.ShortLen * op.LongLen)})
 	case OpTopK:
 		return cpuM.Time(hwmodel.CPUWork{HeapCandidates: int64(op.ShortLen)})
+	case OpDeltaScan:
+		// One shadow-set probe per main candidate plus the merge of the
+		// delta's qualifying documents (LongLen).
+		return cpuM.Time(hwmodel.CPUWork{
+			CachedProbes:   int64(op.ShortLen),
+			MergedElements: int64(op.ShortLen + op.LongLen),
+		})
 	}
 	return 0
 }

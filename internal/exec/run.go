@@ -57,6 +57,42 @@ func (directUpload) DeviceCompressed(s *gpu.Stream, _ int, pl *index.PostingList
 	return DeviceList{Buf: comp, Uploaded: true}, nil
 }
 
+// CandidateScorer ranks the surviving candidates. rank.Scorer is the
+// frozen-corpus implementation; a live-ingestion overlay substitutes a
+// scorer that evaluates the same BM25 arithmetic against the query's
+// pinned (main segment, delta generation) statistics, so concurrent
+// mutations never tear a score. lists are the fetched main-segment
+// posting lists in fetch order (missing terms skipped); an overlay
+// scorer that tracks the query's terms itself may ignore them.
+type CandidateScorer interface {
+	ScoreCandidates(lists []*index.PostingList, candidates []uint32) ([]kernels.ScoredDoc, hwmodel.CPUWork)
+}
+
+// DeltaView is an immutable snapshot of a delta index (live ingestion),
+// pinned by one query for its whole execution. The executor consults it
+// after the main-segment plan: documents the delta supersedes are
+// dropped from the intersection and the delta's own qualifying
+// documents are merged in (the OpDeltaScan operator).
+type DeltaView interface {
+	// Empty reports whether the view holds no mutations at all; the
+	// executor then skips the delta scan and the plan is byte-identical
+	// to a frozen-corpus run.
+	Empty() bool
+	// Reconcile filters main-segment candidates the delta supersedes and
+	// unions in the delta's own documents containing every query term.
+	// Both input and output are ascending docID slices; work is the
+	// billable host cost.
+	Reconcile(main []uint32, terms []string) (merged []uint32, work hwmodel.CPUWork)
+}
+
+// Overlay bundles a pinned delta view with the scorer evaluating its
+// snapshot's collection statistics — what a live-ingestion engine
+// threads into each query.
+type Overlay struct {
+	Delta  DeltaView
+	Scorer CandidateScorer
+}
+
 // Context is the shared execution context one executor run needs: the
 // hardware models pricing the simulated timeline, the device (nil for
 // pure-CPU plans), the list provider, and the ranking configuration.
@@ -82,8 +118,13 @@ type Context struct {
 	// Lists provides device-resident compressed lists to cacheable
 	// uploads; nil means upload directly (no cache).
 	Lists ListProvider
-	// Scorer ranks the surviving candidates (BM25).
-	Scorer *rank.Scorer
+	// Scorer ranks the surviving candidates (BM25). Frozen-corpus
+	// engines pass *rank.Scorer; live-ingestion overlays substitute a
+	// snapshot-pinned implementation.
+	Scorer CandidateScorer
+	// Delta is the query's pinned delta-index view; nil (or an empty
+	// view) means a frozen corpus and no delta scan.
+	Delta DeltaView
 	// SkipThreshold is the CPU merge-vs-skip ratio switch.
 	SkipThreshold int
 	// TopK is the result count.
@@ -159,6 +200,28 @@ func Run(ctx *Context, fetches []Fetch, mkBuilder func(ordered []*index.PostingL
 				}
 			}
 		}
+	}
+
+	// Delta scan: reconcile the main-segment intersection with the
+	// query's pinned delta view (live ingestion). Superseded documents
+	// (tombstoned or updated in the delta) drop out; delta documents
+	// containing every query term merge in. Runs even when a term is
+	// missing from the main segment — the delta may still hold matching
+	// documents — and is skipped entirely for empty views, keeping
+	// frozen-corpus plans byte-identical.
+	if ctx.Delta != nil && !ctx.Delta.Empty() {
+		terms := make([]string, len(fetches))
+		for i, f := range fetches {
+			terms[i] = f.Term
+		}
+		base := len(r.hostIDs)
+		merged, work := ctx.Delta.Reconcile(r.hostIDs, terms)
+		est := (&Op{Kind: OpDeltaScan, ShortLen: base, LongLen: len(merged)}).Estimate(&ctx.CPU, r.gpuModel())
+		took := ctx.CPU.Time(work)
+		r.stats.CPUTime += took
+		r.hostIDs = merged
+		r.onDevice = false
+		r.record(OpRecord{Kind: OpDeltaScan, Where: sched.CPU, NIn: base, NOut: len(merged), Took: took, Est: est})
 	}
 
 	// Rank: BM25 over the candidates, then the CPU partial sort (the

@@ -166,6 +166,31 @@ func (ix *Index) DocLen(d uint32) uint32 {
 	return 1
 }
 
+// WithGlobalStats returns a copy of this index carrying collection-wide
+// statistics: fresh PostingList headers (sharing the compressed payloads
+// — EF/PFD/freq blocks are immutable) whose GlobalN is the term's global
+// document frequency from globalDF, plus global NumDocs/DocLens/AvgDocLen.
+// This is the document-partitioned shard stamping of
+// workload.PartitionIndex applied after the fact: a live-ingestion
+// cluster restamps each shard's freshly merged segment at quiesce so
+// per-shard BM25 scores are bit-identical to the unpartitioned engine.
+// The headers are copies rather than in-place mutations because in-flight
+// queries may still be reading the old lists' ScoringN.
+func (ix *Index) WithGlobalStats(globalDF map[string]int, numDocs int, docLens []uint32, avgDocLen float64) *Index {
+	out := &Index{
+		NumDocs:   numDocs,
+		DocLens:   docLens,
+		AvgDocLen: avgDocLen,
+		terms:     make(map[string]*PostingList, len(ix.terms)),
+	}
+	for t, pl := range ix.terms {
+		cp := *pl
+		cp.GlobalN = globalDF[t]
+		out.terms[t] = &cp
+	}
+	return out
+}
+
 // Codec selects which compressed forms the builder materializes.
 type Codec int
 
@@ -181,6 +206,7 @@ const (
 type Builder struct {
 	codec    Codec
 	postings map[string]*building
+	prebuilt map[string]*PostingList
 	docLens  map[uint32]uint32
 	maxDocID uint32
 	hasDocs  bool
@@ -258,6 +284,20 @@ func (b *Builder) AddPostings(term string, docIDs []uint32, freqs []uint32) erro
 	return nil
 }
 
+// AddPrebuilt installs an already-compressed posting list verbatim —
+// the segment-copy path of a live merge: a term untouched by the delta
+// keeps its compressed blocks (the codecs are deterministic, so
+// re-encoding the same postings would reproduce them byte for byte).
+// The caller guarantees the list's documents are registered via
+// SetDocLen (they determine NumDocs); a term added both ways keeps the
+// rebuilt form.
+func (b *Builder) AddPrebuilt(pl *PostingList) {
+	if b.prebuilt == nil {
+		b.prebuilt = make(map[string]*PostingList)
+	}
+	b.prebuilt[pl.Term] = pl
+}
+
 // SetDocLen records a document's token length for scoring (used with
 // AddPostings; AddDocument records lengths automatically).
 func (b *Builder) SetDocLen(docID uint32, n uint32) {
@@ -270,7 +310,10 @@ func (b *Builder) SetDocLen(docID uint32, n uint32) {
 
 // Build compresses every accumulated posting list and returns the Index.
 func (b *Builder) Build() (*Index, error) {
-	ix := &Index{terms: make(map[string]*PostingList, len(b.postings))}
+	ix := &Index{terms: make(map[string]*PostingList, len(b.postings)+len(b.prebuilt))}
+	for term, pl := range b.prebuilt {
+		ix.terms[term] = pl
+	}
 	if b.hasDocs {
 		ix.NumDocs = int(b.maxDocID) + 1
 		ix.DocLens = make([]uint32, ix.NumDocs)

@@ -1,0 +1,462 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"griffin/internal/core"
+	"griffin/internal/exec"
+	"griffin/internal/fault"
+	"griffin/internal/hwmodel"
+	"griffin/internal/index"
+	"griffin/internal/rank"
+)
+
+// DefaultMergeRetries bounds how many times an aborted merge (injected
+// fault on the merge path) is retried before the error surfaces.
+const DefaultMergeRetries = 3
+
+// Config parameterizes a live-ingestion engine.
+type Config struct {
+	// Engine is the serving-engine template. Every merged segment is
+	// served by a fresh core.Engine built from this template adopting
+	// the previous engine's device node, so the simulated device
+	// timelines, submit hooks, and batching stage survive index swaps.
+	Engine core.Config
+	// Codec selects the compressed forms merged segments materialize.
+	// Defaults to the seed index's codec (PForDelta presence detected),
+	// so a quiesced engine is byte-identical to a fresh build.
+	Codec index.Codec
+	// MergeThreshold is the delta size (records, live + tombstoned) at
+	// which a merge becomes due (NeedsMerge / AutoMerge). 0 means merges
+	// run only when explicitly requested.
+	MergeThreshold int
+	// AutoMerge launches a background merge goroutine whenever a
+	// mutation pushes the delta past MergeThreshold (the serving-path
+	// behaviour; deterministic load studies call MergeAt themselves).
+	AutoMerge bool
+	// Site is the fault-site base name; merge-path draws use
+	// "<Site>.merge". Empty means "ingest".
+	Site string
+	// Fault injects merge-path faults (nil = none).
+	Fault *fault.Injector
+	// MergeRetries bounds abort→retry attempts per merge
+	// (0 = DefaultMergeRetries; negative = no retries).
+	MergeRetries int
+}
+
+// segment is one immutable main-index incarnation plus the engine
+// serving it. Snapshots hold references; the last release closes the
+// engine (dropping its device-resident caches) — epoch-based
+// retirement without a global pause.
+type segment struct {
+	eng  *core.Engine
+	st   mainStats
+	refs atomic.Int64
+}
+
+func (g *segment) acquire() { g.refs.Add(1) }
+
+func (g *segment) release() {
+	if g.refs.Add(-1) == 0 {
+		g.eng.Close()
+	}
+}
+
+// snapshot is an immutable (main segment, delta view) pair — what one
+// query pins for its whole execution. The snapshot holds one reference
+// on its segment; queries hold references on the snapshot.
+type snapshot struct {
+	seg  *segment
+	view *View
+	refs atomic.Int64
+}
+
+func newSnapshot(seg *segment, view *View) *snapshot {
+	seg.acquire()
+	s := &snapshot{seg: seg, view: view}
+	s.refs.Store(1) // the "current" reference, dropped when swapped out
+	return s
+}
+
+func (s *snapshot) release() {
+	if s.refs.Add(-1) == 0 {
+		s.seg.release()
+	}
+}
+
+// Stats is the ingestion telemetry surface (/statz, freshness checks).
+type Stats struct {
+	// Gen is the writer generation (total mutations accepted);
+	// MergedGen is the highest generation covered by a committed merge.
+	Gen       uint64 `json:"gen"`
+	MergedGen uint64 `json:"merged_gen"`
+	// DeltaDocs / Tombstones describe the current delta (records not
+	// yet merged). DeltaDocs counts all records, tombstones included —
+	// the merge-lag / freshness signal.
+	DeltaDocs  int `json:"delta_docs"`
+	Tombstones int `json:"tombstones"`
+	// Adds/Updates/Deletes count accepted mutations by kind.
+	Adds    int64 `json:"adds"`
+	Updates int64 `json:"updates"`
+	Deletes int64 `json:"deletes"`
+	// Merges counts committed merges; Aborts counts merge attempts
+	// killed by injected faults (each either retried or surfaced);
+	// MergedDocs is the total records folded into main segments.
+	Merges     int64 `json:"merges"`
+	Aborts     int64 `json:"aborts"`
+	MergedDocs int64 `json:"merged_docs"`
+	// MergeDevice / MergeCPU / MergeStall are the simulated time merges
+	// spent re-encoding on the shared device timelines, encoding on the
+	// CPU, and stalled by injected admission faults — the interference
+	// the /statz freshness block surfaces.
+	MergeDevice time.Duration `json:"merge_device_ns"`
+	MergeCPU    time.Duration `json:"merge_cpu_ns"`
+	MergeStall  time.Duration `json:"merge_stall_ns"`
+}
+
+// Lag returns the mutations not yet covered by a committed merge.
+func (s Stats) Lag() uint64 { return s.Gen - s.MergedGen }
+
+// Engine is the live-ingestion engine: a mutable delta over a read-only
+// core.Engine, with snapshot-isolated reads and background merging.
+type Engine struct {
+	cfg     Config
+	codec   index.Codec
+	cpu     hwmodel.CPUModel
+	site    string
+	retries int
+
+	// mu is the writer lock: mutations, freezes, and merge commits.
+	// Reads never take it (they pin snapshots through snap).
+	mu   sync.Mutex
+	d    *delta
+	snap atomic.Pointer[snapshot]
+	gen  atomic.Uint64 // mirror of d.gen for lock-free staleness checks
+
+	// mergeMu serializes merges (one background merge at a time).
+	mergeMu sync.Mutex
+	merging atomic.Bool
+	bg      sync.WaitGroup
+	closing atomic.Bool
+	statsMu sync.Mutex
+	st      Stats
+}
+
+// New builds a live-ingestion engine over a seed index. The seed may be
+// empty (index.NewBuilder(...).Build() with no documents) to start from
+// a blank corpus.
+func New(ix *index.Index, cfg Config) (*Engine, error) {
+	eng, err := core.New(ix, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		codec:   cfg.Codec,
+		cpu:     cfg.Engine.CPU,
+		site:    cfg.Site,
+		retries: cfg.MergeRetries,
+	}
+	if e.cpu == (hwmodel.CPUModel{}) {
+		e.cpu = hwmodel.DefaultCPU()
+	}
+	if e.site == "" {
+		e.site = "ingest"
+	}
+	if e.retries == 0 {
+		e.retries = DefaultMergeRetries
+	}
+	if cfg.Codec == CodecAuto {
+		e.codec = detectCodec(ix)
+	}
+	e.d = newDelta()
+	seg := &segment{eng: eng, st: statsOf(ix)}
+	view := e.d.freeze(seg.st)
+	e.snap.Store(newSnapshot(seg, view))
+	return e, nil
+}
+
+// CodecAuto asks New to detect the codec from the seed index.
+const CodecAuto index.Codec = -1
+
+// detectCodec mirrors workload.PartitionIndex's probe: any term with a
+// PForDelta form means the index was built with CodecBoth.
+func detectCodec(ix *index.Index) index.Codec {
+	for _, t := range ix.Terms() {
+		pl, _ := ix.Lookup(t)
+		if pl.PFD != nil {
+			return index.CodecBoth
+		}
+		return index.CodecEF
+	}
+	return index.CodecEF
+}
+
+// Close drains in-flight background merges and releases the engine's
+// device state. Safe to call once; concurrent with queries.
+func (e *Engine) Close() {
+	e.closing.Store(true)
+	e.bg.Wait()
+	// Drop the "current" reference; the snapshot (and its segment's
+	// caches) die when the last pinned query finishes.
+	if s := e.snap.Load(); s != nil {
+		s.release()
+	}
+}
+
+// ErrClosed is returned by mutations, merges, and queries issued after
+// Close.
+var ErrClosed = errors.New("ingest: engine closed")
+
+// acquire pins the current snapshot (whatever its generation). After
+// Close the current snapshot may be fully drained — its segment's engine
+// is gone — so a closed engine answers ErrClosed instead of spinning.
+func (e *Engine) acquire() (*snapshot, error) {
+	for {
+		if e.closing.Load() {
+			return nil, ErrClosed
+		}
+		s := e.snap.Load()
+		if s.refs.Add(1) <= 1 {
+			// Fully drained already (swapped out): undo and retry.
+			s.refs.Add(-1)
+			continue
+		}
+		if e.snap.Load() == s {
+			return s, nil
+		}
+		s.release()
+	}
+}
+
+// acquireFresh pins a snapshot at the writer's current generation,
+// freezing the delta on demand (cheap when no mutations landed since
+// the last freeze: the fast path is two atomic loads).
+func (e *Engine) acquireFresh() (*snapshot, error) {
+	for {
+		s, err := e.acquire()
+		if err != nil {
+			return nil, err
+		}
+		if s.view.gen == e.gen.Load() {
+			return s, nil
+		}
+		s.release()
+		e.refresh()
+	}
+}
+
+// refresh publishes a snapshot of the writer's current generation.
+func (e *Engine) refresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	if cur.view.gen == e.d.gen {
+		return
+	}
+	v := e.d.freeze(cur.seg.st)
+	e.snap.Store(newSnapshot(cur.seg, v))
+	cur.release()
+}
+
+// exists reports whether docID is live at the writer's current state.
+// Caller holds e.mu.
+func (e *Engine) exists(docID uint32) bool {
+	if rec := e.d.docs[docID]; rec != nil {
+		return rec.live()
+	}
+	seg := e.snap.Load().seg
+	return int(docID) < len(seg.st.ix.DocLens) && seg.st.ix.DocLens[docID] > 0
+}
+
+// Add inserts a new document. It is an error to Add a docID that is
+// currently live (use Update) or to add an empty document.
+func (e *Engine) Add(docID uint32, tokens []string) error {
+	return e.mutate(docID, tokens, mutAdd)
+}
+
+// Update replaces a document wholesale (upsert: the document need not
+// exist yet). The delta stores the complete new version; the
+// main-segment version, if any, is shadowed until the next merge.
+func (e *Engine) Update(docID uint32, tokens []string) error {
+	return e.mutate(docID, tokens, mutUpdate)
+}
+
+// Delete tombstones a live document.
+func (e *Engine) Delete(docID uint32) error {
+	return e.mutate(docID, nil, mutDelete)
+}
+
+type mutKind int
+
+const (
+	mutAdd mutKind = iota
+	mutUpdate
+	mutDelete
+)
+
+func (e *Engine) mutate(docID uint32, tokens []string, kind mutKind) error {
+	if e.closing.Load() {
+		return ErrClosed
+	}
+	e.mu.Lock()
+	switch kind {
+	case mutAdd:
+		if len(tokens) == 0 {
+			e.mu.Unlock()
+			return mutErrf("ingest: add doc %d: empty document", docID)
+		}
+		if e.exists(docID) {
+			e.mu.Unlock()
+			return mutErrf("ingest: add doc %d: already exists (use update)", docID)
+		}
+	case mutUpdate:
+		if len(tokens) == 0 {
+			e.mu.Unlock()
+			return mutErrf("ingest: update doc %d: empty document", docID)
+		}
+	case mutDelete:
+		if !e.exists(docID) {
+			e.mu.Unlock()
+			return mutErrf("ingest: delete doc %d: not found", docID)
+		}
+	}
+	e.d.gen++
+	rec := &docRecord{gen: e.d.gen}
+	if kind == mutDelete {
+		rec.deleted = true
+	} else {
+		rec.tf, rec.length = tokenCounts(tokens)
+	}
+	e.d.put(docID, rec)
+	e.gen.Store(e.d.gen)
+	pending := len(e.d.docs)
+	e.mu.Unlock()
+
+	e.statsMu.Lock()
+	switch kind {
+	case mutAdd:
+		e.st.Adds++
+	case mutUpdate:
+		e.st.Updates++
+	case mutDelete:
+		e.st.Deletes++
+	}
+	e.statsMu.Unlock()
+
+	if e.cfg.AutoMerge && e.cfg.MergeThreshold > 0 && pending >= e.cfg.MergeThreshold &&
+		!e.closing.Load() && e.merging.CompareAndSwap(false, true) {
+		e.bg.Add(1)
+		go func() {
+			defer e.bg.Done()
+			defer e.merging.Store(false)
+			_ = e.Merge() // surfaced via Stats.Aborts; delta stays intact on failure
+		}()
+	}
+	return nil
+}
+
+// NeedsMerge reports whether the delta has reached the merge threshold.
+func (e *Engine) NeedsMerge() bool {
+	if e.cfg.MergeThreshold <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.d.docs) >= e.cfg.MergeThreshold
+}
+
+// Result is a completed query plus the delta generation it observed.
+type Result struct {
+	*core.Result
+	// Gen is the snapshot's delta generation: results are bit-identical
+	// to a quiesced engine holding exactly the first Gen mutations.
+	Gen uint64
+}
+
+// Search runs one conjunctive query against the freshest snapshot.
+func (e *Engine) Search(terms []string) (*Result, error) {
+	return e.SearchContext(nil, terms)
+}
+
+// SearchContext is Search with a cancellation context.
+func (e *Engine) SearchContext(ctx context.Context, terms []string) (*Result, error) {
+	s, err := e.acquireFresh()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	r, err := s.seg.eng.SearchOverlayContext(ctx, terms, e.overlayFor(s))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: r, Gen: s.view.gen}, nil
+}
+
+// SearchAt runs one query arriving at an explicit simulated time on the
+// shared device timeline — the load-study entry point; backlog left by
+// earlier queries *and background merges* delays it.
+func (e *Engine) SearchAt(terms []string, arrival time.Duration) (*Result, error) {
+	s, err := e.acquireFresh()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	r, err := s.seg.eng.SearchOverlayAtContext(nil, terms, arrival, e.overlayFor(s))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: r, Gen: s.view.gen}, nil
+}
+
+// overlayFor builds the query's exec overlay: nil for an empty view, so
+// a quiesced engine takes the frozen-corpus path byte for byte.
+func (e *Engine) overlayFor(s *snapshot) *exec.Overlay {
+	if s.view.Empty() {
+		return nil
+	}
+	sc := statScorer(s.view.NumDocs(), s.view.AvgDocLen(), e.bm25())
+	return newOverlay(s.view, s.seg.st.ix, sc, nil)
+}
+
+// bm25 resolves the scoring parameters exactly as core.New does, so the
+// overlay scorer and the frozen-corpus scorer agree bit for bit.
+func (e *Engine) bm25() rank.BM25Params {
+	if e.cfg.Engine.BM25 == (rank.BM25Params{}) {
+		return rank.DefaultBM25()
+	}
+	return e.cfg.Engine.BM25
+}
+
+// Engine returns the current serving engine (telemetry surface: node,
+// caches, batching). The pointer is only safe for reads that tolerate a
+// concurrent swap; queries must go through Search.
+func (e *Engine) Engine() *core.Engine { return e.snap.Load().seg.eng }
+
+// Index returns the current main segment (excluding the delta).
+func (e *Engine) Index() *index.Index { return e.snap.Load().seg.st.ix }
+
+// Gen returns the writer generation.
+func (e *Engine) Gen() uint64 { return e.gen.Load() }
+
+// Stats returns the ingestion telemetry.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	st := e.st
+	e.statsMu.Unlock()
+	st.Gen = e.gen.Load()
+	e.mu.Lock()
+	st.DeltaDocs = len(e.d.docs)
+	st.Tombstones = 0
+	for _, rec := range e.d.docs {
+		if rec.deleted {
+			st.Tombstones++
+		}
+	}
+	e.mu.Unlock()
+	return st
+}

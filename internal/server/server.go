@@ -10,6 +10,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,18 +21,27 @@ import (
 	"griffin/internal/core"
 	"griffin/internal/gpu"
 	"griffin/internal/index"
+	"griffin/internal/ingest"
 )
 
-// Server routes search traffic to an engine or a cluster.
+// Server routes search traffic to an engine or a cluster, optionally
+// wrapped in a live-ingestion layer accepting writes.
 type Server struct {
-	engine  *core.Engine     // single-node backend (nil in cluster mode)
-	cluster *cluster.Cluster // sharded backend (nil in single-node mode)
-	mux     *http.ServeMux
+	engine      *core.Engine     // single-node backend (nil otherwise)
+	cluster     *cluster.Cluster // sharded backend (nil otherwise)
+	live        *ingest.Engine   // live single-node backend (nil otherwise)
+	liveCluster *ingest.Cluster  // live sharded backend (nil otherwise)
+	mux         *http.ServeMux
+
+	// freshness is the merge-lag threshold past which /healthz reports
+	// "degraded" (0 = no freshness check). Live backends only.
+	freshness int
 
 	queries  atomic.Int64
 	errors   atomic.Int64
 	degraded atomic.Int64
 	simNanos atomic.Int64
+	ingested atomic.Int64
 }
 
 // New wraps a single engine. The engine must outlive the server.
@@ -49,11 +59,50 @@ func NewCluster(cl *cluster.Cluster) *Server {
 	return s
 }
 
+// NewLive wraps a live single-node ingestion engine: /search serves
+// snapshot-isolated reads through the delta, POST /ingest accepts
+// mutations, and /healthz degrades when merge lag exceeds freshness
+// (0 = no check). The engine must outlive the server; the caller owns
+// Close (which drains in-flight background merges).
+func NewLive(e *ingest.Engine, freshness int) *Server {
+	s := &Server{live: e, freshness: freshness}
+	s.init()
+	return s
+}
+
+// NewLiveCluster wraps a live sharded ingestion layer; see NewLive.
+func NewLiveCluster(c *ingest.Cluster, freshness int) *Server {
+	s := &Server{liveCluster: c, freshness: freshness}
+	s.init()
+	return s
+}
+
 func (s *Server) init() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
+	if s.live != nil || s.liveCluster != nil {
+		s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	}
+}
+
+// eng resolves the current single-node core engine: the live layer
+// swaps engines at merge commits, so it is re-read per request.
+func (s *Server) eng() *core.Engine {
+	if s.live != nil {
+		return s.live.Engine()
+	}
+	return s.engine
+}
+
+// cl resolves the current cluster; the live layer swaps clusters at
+// splits and quiesces.
+func (s *Server) cl() *cluster.Cluster {
+	if s.liveCluster != nil {
+		return s.liveCluster.Cluster()
+	}
+	return s.cluster
 }
 
 // ServeHTTP implements http.Handler.
@@ -166,12 +215,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	trace := r.URL.Query().Get("trace") == "1"
 
-	if s.cluster != nil {
+	if s.cluster != nil || s.liveCluster != nil {
 		s.searchCluster(w, r, terms, k, trace)
 		return
 	}
 
-	res, err := s.engine.SearchContext(r.Context(), terms)
+	var res *core.Result
+	var err error
+	if s.live != nil {
+		// The live path pins a (segment, delta) snapshot for the whole
+		// query — concurrent mutations and merge commits never tear it.
+		var lr *ingest.Result
+		if lr, err = s.live.SearchContext(r.Context(), terms); err == nil {
+			res = lr.Result
+		}
+	} else {
+		res, err = s.engine.SearchContext(r.Context(), terms)
+	}
 	if err != nil {
 		s.errors.Add(1)
 		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
@@ -221,7 +281,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // rides through to the shard sub-queries: a client that disconnects
 // cancels the stragglers at their next plan-operator boundary.
 func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []string, k int, trace bool) {
-	res, err := s.cluster.Search(r.Context(), terms)
+	var res *cluster.Result
+	var err error
+	if s.liveCluster != nil {
+		var lr *ingest.ClusterResult
+		if lr, err = s.liveCluster.SearchContext(r.Context(), terms); err == nil {
+			res = lr.Result
+		}
+	} else {
+		res, err = s.cluster.Search(r.Context(), terms)
+	}
 	if err != nil {
 		s.errors.Add(1)
 		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
@@ -283,6 +352,89 @@ func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []s
 	writeJSON(w, resp)
 }
 
+// IngestRequest is the POST /ingest body: one mutation. Tokens carries
+// the document terms directly; Text is the tokenized alternative
+// (exactly one must be set for add/update, neither for delete).
+type IngestRequest struct {
+	Op     string   `json:"op"` // "add", "update", or "delete"
+	DocID  uint32   `json:"doc_id"`
+	Tokens []string `json:"tokens,omitempty"`
+	Text   string   `json:"text,omitempty"`
+}
+
+// IngestResponse acknowledges one applied mutation with the writer
+// generation that includes it and the current merge lag.
+type IngestResponse struct {
+	Gen uint64 `json:"gen"`
+	Lag uint64 `json:"lag"`
+}
+
+// handleIngest serves POST /ingest (live backends only). Mutations are
+// visible to the next /search immediately through the delta; merges
+// fold them into the compressed main segment in the background.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tokens := req.Tokens
+	if len(tokens) == 0 && req.Text != "" {
+		tokens = index.Tokenize(req.Text)
+	}
+	var err error
+	switch req.Op {
+	case "add", "update":
+		if len(tokens) == 0 {
+			http.Error(w, `mutation needs "tokens" or "text"`, http.StatusBadRequest)
+			return
+		}
+		if s.live != nil {
+			if req.Op == "add" {
+				err = s.live.Add(req.DocID, tokens)
+			} else {
+				err = s.live.Update(req.DocID, tokens)
+			}
+		} else if req.Op == "add" {
+			err = s.liveCluster.Add(req.DocID, tokens)
+		} else {
+			err = s.liveCluster.Update(req.DocID, tokens)
+		}
+	case "delete":
+		if s.live != nil {
+			err = s.live.Delete(req.DocID)
+		} else {
+			err = s.liveCluster.Delete(req.DocID)
+		}
+	default:
+		http.Error(w, `parameter "op" must be "add", "update", or "delete"`, http.StatusBadRequest)
+		return
+	}
+	switch {
+	case err == nil:
+	case ingest.IsInvalid(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, ingest.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		s.errors.Add(1)
+		http.Error(w, "ingest failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.ingested.Add(1)
+	resp := IngestResponse{}
+	if s.live != nil {
+		st := s.live.Stats()
+		resp.Gen, resp.Lag = st.Gen, st.Lag()
+	} else {
+		st := s.liveCluster.Stats()
+		resp.Gen, resp.Lag = st.Gen, st.Lag()
+	}
+	writeJSON(w, resp)
+}
+
 // ShardHealthJSON is one shard's reachability row in /healthz.
 type ShardHealthJSON struct {
 	Shard int `json:"shard"`
@@ -292,49 +444,80 @@ type ShardHealthJSON struct {
 	OpenBreakers int  `json:"open_breakers,omitempty"`
 }
 
+// ingestLag returns the live backend's merge lag and whether a live
+// backend is present at all.
+func (s *Server) ingestLag() (uint64, bool) {
+	switch {
+	case s.live != nil:
+		return s.live.Stats().Lag(), true
+	case s.liveCluster != nil:
+		return s.liveCluster.Stats().Lag(), true
+	}
+	return 0, false
+}
+
 // handleHealth serves GET /healthz. In cluster mode the status reflects
 // breaker-level degradation: "ok" when every shard is reachable,
 // "degraded" when some are not, and a 503 with status "unhealthy" when a
 // majority of shards have every replica's breaker open — the cluster can
-// no longer answer most of the corpus.
+// no longer answer most of the corpus. A live backend whose merge lag
+// exceeds the freshness threshold reports "degraded" (still 200: stale
+// but serving) unless breaker health already says worse.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.cluster != nil {
-		h := s.cluster.Health()
+	lag, isLive := s.ingestLag()
+	stale := isLive && s.freshness > 0 && lag > uint64(s.freshness)
+	if cl := s.cl(); cl != nil {
+		h := cl.Health()
 		status := "ok"
 		code := http.StatusOK
 		switch {
 		case !h.Healthy:
 			status = "unhealthy"
 			code = http.StatusServiceUnavailable
-		case h.Unreachable > 0:
+		case h.Unreachable > 0 || stale:
 			status = "degraded"
 		}
 		shards := make([]ShardHealthJSON, len(h.Shards))
 		for i, sh := range h.Shards {
 			shards[i] = ShardHealthJSON{Shard: sh.Shard, Reachable: sh.Reachable, OpenBreakers: sh.Open}
 		}
+		body := map[string]any{
+			"status":             status,
+			"docs":               cl.NumDocs(),
+			"mode":               cl.Mode().String(),
+			"shards":             cl.NumShards(),
+			"replicas":           cl.Replicas(),
+			"routing":            cl.RoutingPolicy().String(),
+			"unreachable_shards": h.Unreachable,
+			"shard_health":       shards,
+		}
+		if isLive {
+			body["ingest_lag"] = lag
+			body["freshness_threshold"] = s.freshness
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(map[string]any{
-			"status":             status,
-			"docs":               s.cluster.NumDocs(),
-			"mode":               s.cluster.Mode().String(),
-			"shards":             s.cluster.NumShards(),
-			"replicas":           s.cluster.Replicas(),
-			"routing":            s.cluster.RoutingPolicy().String(),
-			"unreachable_shards": h.Unreachable,
-			"shard_health":       shards,
-		})
+		_ = enc.Encode(body)
 		return
 	}
-	writeJSON(w, map[string]any{
-		"status": "ok",
-		"docs":   s.engine.Index().NumDocs,
-		"terms":  s.engine.Index().NumTerms(),
-		"mode":   s.engine.Mode().String(),
-	})
+	status := "ok"
+	if stale {
+		status = "degraded"
+	}
+	eng := s.eng()
+	body := map[string]any{
+		"status": status,
+		"docs":   eng.Index().NumDocs,
+		"terms":  eng.Index().NumTerms(),
+		"mode":   eng.Mode().String(),
+	}
+	if isLive {
+		body["ingest_lag"] = lag
+		body["freshness_threshold"] = s.freshness
+	}
+	writeJSON(w, body)
 }
 
 // StatsResponse is the /statz reply body.
@@ -374,6 +557,43 @@ type StatsResponse struct {
 	// replicas the sites are per-device ("s2r1.g0"), so this map shows
 	// which physical device each fault landed on.
 	FaultSites map[string]int64 `json:"fault_sites,omitempty"`
+	// Ingest is the live-ingestion layer's freshness and merge
+	// telemetry; omitted when the server wraps a read-only backend, so
+	// pre-ingest /statz output stays byte-identical.
+	Ingest *IngestStatsJSON `json:"ingest,omitempty"`
+}
+
+// IngestStatsJSON reports the live layer: writer generation, merge lag
+// (the /healthz freshness signal), mutation/merge counters, and the
+// simulated time merges spent contending with queries on the shared
+// device and CPU timelines. Cluster-only fields (shards, rebuilds,
+// splits, per-shard breakdowns) are omitted on single-node servers.
+type IngestStatsJSON struct {
+	Gen        uint64 `json:"gen"`
+	Lag        uint64 `json:"lag"`
+	DeltaDocs  int    `json:"delta_docs"`
+	Tombstones int    `json:"tombstones"`
+	Adds       int64  `json:"adds"`
+	Updates    int64  `json:"updates"`
+	Deletes    int64  `json:"deletes"`
+	// Accepted counts mutations applied through this server's /ingest
+	// endpoint (the backend counters above also include direct writes).
+	Accepted      int64   `json:"accepted"`
+	Merges        int64   `json:"merges"`
+	Aborts        int64   `json:"aborts,omitempty"`
+	MergedDocs    int64   `json:"merged_docs"`
+	MergeDeviceMS float64 `json:"merge_device_ms"`
+	MergeCPUMS    float64 `json:"merge_cpu_ms"`
+	MergeStallMS  float64 `json:"merge_stall_ms,omitempty"`
+	// FreshnessThreshold is the merge-lag bound past which /healthz
+	// reports degraded (0 = no check).
+	FreshnessThreshold int `json:"freshness_threshold,omitempty"`
+	Shards             int `json:"shards,omitempty"`
+	LiveDocs           int `json:"live_docs,omitempty"`
+	Rebuilds           int64 `json:"rebuilds,omitempty"`
+	Splits             int64 `json:"splits,omitempty"`
+	ShardDocs          []int `json:"shard_docs,omitempty"`
+	ShardDelta         []int `json:"shard_delta,omitempty"`
 }
 
 // SelfHealJSON reports the cluster's lifetime self-healing counters.
@@ -511,9 +731,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-	if s.cluster != nil {
+	switch {
+	case s.live != nil:
+		st := s.live.Stats()
+		resp.Ingest = &IngestStatsJSON{
+			Gen: st.Gen, Lag: st.Lag(),
+			DeltaDocs: st.DeltaDocs, Tombstones: st.Tombstones,
+			Adds: st.Adds, Updates: st.Updates, Deletes: st.Deletes,
+			Accepted: s.ingested.Load(),
+			Merges:   st.Merges, Aborts: st.Aborts, MergedDocs: st.MergedDocs,
+			MergeDeviceMS: ms(st.MergeDevice), MergeCPUMS: ms(st.MergeCPU),
+			MergeStallMS:       ms(st.MergeStall),
+			FreshnessThreshold: s.freshness,
+		}
+	case s.liveCluster != nil:
+		st := s.liveCluster.Stats()
+		resp.Ingest = &IngestStatsJSON{
+			Gen: st.Gen, Lag: st.Lag(),
+			DeltaDocs: st.DeltaDocs, Tombstones: st.Tombstones,
+			Adds: st.Adds, Updates: st.Updates, Deletes: st.Deletes,
+			Accepted: s.ingested.Load(),
+			Merges:   st.Merges, Aborts: st.Aborts, MergedDocs: st.MergedDocs,
+			MergeDeviceMS: ms(st.MergeDevice), MergeCPUMS: ms(st.MergeCPU),
+			MergeStallMS:       ms(st.MergeStall),
+			FreshnessThreshold: s.freshness,
+			Shards:             st.Shards, LiveDocs: st.LiveDocs,
+			Rebuilds: st.Rebuilds, Splits: st.Splits,
+			ShardDocs: st.ShardDocs, ShardDelta: st.ShardDelta,
+		}
+	}
+
+	if cl := s.cl(); cl != nil {
 		resp.Degraded = s.degraded.Load()
-		sh := s.cluster.SelfHeal()
+		sh := cl.SelfHeal()
 		resp.SelfHeal = &SelfHealJSON{
 			Queries:        sh.Queries,
 			Degraded:       sh.Degraded,
@@ -525,7 +775,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BreakerTrips:   sh.BreakerTrips,
 			InjectedFaults: sh.InjectedFaults,
 		}
-		if inj := s.cluster.Injector(); inj != nil {
+		if inj := cl.Injector(); inj != nil {
 			resp.FaultCounts = inj.Counts()
 			resp.FaultSites = inj.SiteCounts()
 			log := inj.Log()
@@ -543,7 +793,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		agg := core.CacheStats{}
 		caching := false
-		for _, row := range s.cluster.Telemetry() {
+		for _, row := range cl.Telemetry() {
 			sr := ShardStatsJSON{
 				Shard: row.Shard, Replica: row.Replica, Queries: row.Queries,
 				Breaker: row.Breaker, BreakerTrips: row.BreakerTrips,
@@ -566,28 +816,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if caching {
 			resp.Cache = cacheJSON(agg)
 		}
-		if cfg, on := s.cluster.Batching(); on {
-			resp.Batching = batchingJSON(cfg, s.cluster.BatchStats())
+		if cfg, on := cl.Batching(); on {
+			resp.Batching = batchingJSON(cfg, cl.BatchStats())
 		}
 		writeJSON(w, resp)
 		return
 	}
 
-	resp.CachedLists = s.engine.CachedLists()
-	if st := s.engine.CacheStats(); st != (core.CacheStats{}) {
+	eng := s.eng()
+	resp.CachedLists = eng.CachedLists()
+	if st := eng.CacheStats(); st != (core.CacheStats{}) {
 		resp.Cache = cacheJSON(st)
 	}
-	if rt := s.engine.Runtime(); rt != nil {
+	if rt := eng.Runtime(); rt != nil {
 		d := deviceJSON(rt.Stats())
 		resp.Device = &d
 	}
-	if node := s.engine.Node(); node != nil && node.Devices() > 1 {
+	if node := eng.Node(); node != nil && node.Devices() > 1 {
 		for i := 0; i < node.Devices(); i++ {
 			resp.Devices = append(resp.Devices, deviceJSON(node.Runtime(i).Stats()))
 		}
 	}
-	if cfg, on := s.engine.Batching(); on {
-		resp.Batching = batchingJSON(cfg, s.engine.BatchStats())
+	if cfg, on := eng.Batching(); on {
+		resp.Batching = batchingJSON(cfg, eng.BatchStats())
 	}
 	writeJSON(w, resp)
 }
