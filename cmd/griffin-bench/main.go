@@ -29,7 +29,7 @@ import (
 // experimentNames are the valid -only keys, in run order.
 var experimentNames = []string{
 	"table1", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos", "ingest",
+	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos", "ingest", "overload",
 }
 
 func main() {
@@ -48,6 +48,10 @@ func main() {
 		}
 	}
 
+	if !(*scale > 0) {
+		fmt.Fprintf(os.Stderr, "griffin-bench: -scale must be > 0, got %v\n", *scale)
+		os.Exit(2)
+	}
 	if *batchWindow < 0 {
 		fmt.Fprintf(os.Stderr, "griffin-bench: -batch-window must be >= 0, got %v\n", *batchWindow)
 		os.Exit(2)
@@ -228,6 +232,13 @@ func main() {
 		_, ti, err := experiments.RunIngestSweep(cfg)
 		exitOn(err)
 		emit(ti)
+	}
+
+	if run("overload") {
+		fmt.Println("sweeping offered load across saturation (hardened overload control vs baseline)...")
+		_, to, err := experiments.RunOverloadSweep(cfg)
+		exitOn(err)
+		emit(to)
 	}
 
 	if *jsonPath != "" {

@@ -9,6 +9,7 @@
 //	griffin-server -index index.grif -shards 4 -replicas 2 -routing least-pending
 //	griffin-server -index index.grif -shards 4 -replicas 2 -chaos-rate 0.05 -hedge-delay 2ms
 //	griffin-server -index index.grif -batch-window 200us -batch-max 16
+//	griffin-server -index index.grif -shards 4 -replicas 2 -default-deadline 5ms -max-inflight 64
 //	griffin-server -index index.grif -ingest -merge-threshold 4096 -freshness-threshold 10000
 //	griffin-server -index index.grif -ingest -shards 4 -split-watermark 2000000
 //
@@ -39,6 +40,17 @@
 // exercise all of it; /healthz reflects breaker-level degradation and
 // /statz carries the self-healing counters and fault log (see
 // docs/robustness.md).
+//
+// Cluster serving is also overload-controlled: -default-deadline applies
+// a per-query deadline budget (overridable per request with
+// ?deadline_ms=) that propagates to shard sub-deadlines and device
+// admission, -shed-target sheds sub-queries CoDel-style under sustained
+// backlog, -retry-budget bounds retry/hedge amplification, and
+// -brownout-enter sheds batch-class (?class=batch) traffic then degrades
+// interactive queries before refusing them. -max-inflight bounds
+// concurrently served /search requests at the HTTP layer in any mode.
+// Overload refusals are 503s with Retry-After; /statz grows an
+// "overload" block and /healthz a shed_rate (see docs/robustness.md).
 //
 // With -ingest the loaded index becomes the seed segment of a live
 // engine (or live cluster at -shards > 1): POST /ingest accepts
@@ -82,6 +94,7 @@ import (
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
 	"griffin/internal/ingest"
+	"griffin/internal/overload"
 	"griffin/internal/sched"
 	"griffin/internal/server"
 	"griffin/internal/workload"
@@ -112,6 +125,11 @@ func main() {
 	mergeAuto := flag.Bool("merge-auto", true, "merge in the background when the delta crosses -merge-threshold (with -ingest)")
 	freshness := flag.Int("freshness-threshold", 0, "merge lag past which /healthz reports degraded (with -ingest; 0 = no check)")
 	splitWatermark := flag.Int("split-watermark", 0, "live docs per shard triggering a shard split (with -ingest -shards > 1; 0 = off)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-query deadline budget applied when a request carries no ?deadline_ms= (cluster mode, 0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrently served /search requests; excess queue and shed CoDel-style (0 = unbounded)")
+	shedTarget := flag.Duration("shed-target", 0, "per-replica CoDel admission shed target: sub-queries facing more backlog than this for a sustained interval are shed (cluster mode, 0 = off)")
+	retryBudget := flag.Float64("retry-budget", 0, "retry/hedge token budget as a fraction of admissions, e.g. 0.1 (cluster mode, 0 = unbudgeted)")
+	brownoutEnter := flag.Duration("brownout-enter", 0, "cluster pressure entering brownout: level 1 sheds batch-class queries, level 2 (2x this) degrades interactive ones (cluster mode, 0 = off)")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain window on shutdown")
 	flag.Parse()
 
@@ -149,6 +167,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: -batch-max must be >= 1, got %d\n", *batchMax)
 		os.Exit(2)
 	}
+	if *shardTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -shard-timeout must be >= 0, got %v\n", *shardTimeout)
+		os.Exit(2)
+	}
+	if *hedgeDelay < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -hedge-delay must be >= 0, got %v\n", *hedgeDelay)
+		os.Exit(2)
+	}
+	if *retries < -1 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -retries must be >= -1, got %d\n", *retries)
+		os.Exit(2)
+	}
+	if *defaultDeadline < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -default-deadline must be >= 0, got %v\n", *defaultDeadline)
+		os.Exit(2)
+	}
+	if *maxInflight < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -max-inflight must be >= 0, got %d\n", *maxInflight)
+		os.Exit(2)
+	}
+	if *shedTarget < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -shed-target must be >= 0, got %v\n", *shedTarget)
+		os.Exit(2)
+	}
+	if !(*retryBudget >= 0) || *retryBudget > 1 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -retry-budget must be in [0, 1], got %v\n", *retryBudget)
+		os.Exit(2)
+	}
+	if *brownoutEnter < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -brownout-enter must be >= 0, got %v\n", *brownoutEnter)
+		os.Exit(2)
+	}
+	if *shards <= 1 && (*defaultDeadline > 0 || *shedTarget > 0 || *retryBudget > 0 || *brownoutEnter > 0) {
+		fmt.Fprintln(os.Stderr, "griffin-server: -default-deadline, -shed-target, -retry-budget, and -brownout-enter require -shards > 1")
+		os.Exit(2)
+	}
 	if *mergeThreshold < 0 {
 		fmt.Fprintf(os.Stderr, "griffin-server: -merge-threshold must be >= 0, got %d\n", *mergeThreshold)
 		os.Exit(2)
@@ -181,7 +235,7 @@ func main() {
 	f.Close()
 	exitOn(err)
 
-	var handler http.Handler
+	var handler *server.Server
 	if *shards > 1 {
 		var inj *fault.Injector
 		if *chaosRate > 0 {
@@ -206,6 +260,12 @@ func main() {
 			Retries:      *retries,
 			Breaker:      fault.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 			Fault:        inj,
+			Overload: overload.Config{
+				DefaultDeadline: *defaultDeadline,
+				ShedTarget:      *shedTarget,
+				RetryBudget:     *retryBudget,
+				BrownoutEnter:   *brownoutEnter,
+			},
 		}
 		live := ""
 		if *ingestOn {
@@ -269,6 +329,11 @@ func main() {
 		}
 		log.Printf("griffin-server: %d docs, %d terms, mode=%s%s, listening on %s",
 			ix.NumDocs, ix.NumTerms(), mode, devs, *addr)
+	}
+
+	if *maxInflight > 0 {
+		handler.ConfigureOverload(server.OverloadConfig{MaxInflight: *maxInflight})
+		log.Printf("griffin-server: admission gate at %d in-flight /search requests", *maxInflight)
 	}
 
 	exitOn(serve(*addr, handler, *drain))

@@ -35,6 +35,7 @@ import (
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
 	"griffin/internal/kernels"
+	"griffin/internal/overload"
 )
 
 // ErrAllShardsFailed wraps the error Search returns when no shard
@@ -111,6 +112,13 @@ type Config struct {
 	// for tail latency exactly as in the tail-at-scale playbook, and
 	// ShardTimeout stops being the only defense against a stalled shard.
 	HedgeDelay time.Duration
+	// Overload configures the cluster's overload controls: deadline
+	// budgets, per-replica CoDel admission shedding, retry/hedge token
+	// budgets, and brownout tiers. The zero value disables all of them —
+	// a cluster configured without overload control behaves byte-
+	// identically to one built before the layer existed. Per-query
+	// deadlines and classes arrive via SearchWith's QueryOpts.
+	Overload overload.Config
 }
 
 // Cluster serves queries over document-partitioned shards.
@@ -131,6 +139,17 @@ type Cluster struct {
 	queries   atomic.Int64 // cluster queries served
 	failed    atomic.Int64 // cluster queries with no result at all
 	degraded  atomic.Int64 // cluster queries missing at least one shard
+
+	// Overload control (all nil/zero when Config.Overload is off).
+	brownout     *overload.Brownout
+	mergeReserve time.Duration // gather-side time reserved out of each deadline
+	degradedTopK int           // brownout level-2 interactive result count
+
+	// Overload counters, cluster lifetime.
+	deadlineInfeasible atomic.Int64 // queries refused: budget below merge reserve
+	deadlineMisses     atomic.Int64 // queries answered past their deadline
+	budgetRejects      atomic.Int64 // sub-queries refused by device budget admission
+	hedgeSkips         atomic.Int64 // hedges suppressed by brownout or token budget
 }
 
 // New builds a cluster over one index per shard (typically the output of
@@ -153,8 +172,16 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 		cfg.DeviceModel = hwmodel.DefaultGPU()
 	}
 	c := &Cluster{cfg: cfg}
+	olc := cfg.Overload
+	c.brownout = overload.NewBrownout(olc.BrownoutEnter, olc.BrownoutEscalate, olc.BrownoutHold)
+	c.degradedTopK = olc.DegradedTopK
+	if c.degradedTopK <= 0 {
+		if c.degradedTopK = cfg.TopK / 2; c.degradedTopK < 1 {
+			c.degradedTopK = 1
+		}
+	}
 	for s, ix := range ixs {
-		g := &shardGroup{id: s}
+		g := &shardGroup{id: s, budget: overload.NewBudget(olc.RetryBudget, olc.RetryBurst)}
 		for r := 0; r < cfg.Replicas; r++ {
 			ecfg := cfg.Engine
 			ecfg.TopK = cfg.TopK
@@ -170,6 +197,7 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 			}
 			site := fmt.Sprintf("s%dr%d", s, r)
 			rep := newReplica(eng, site, fault.NewBreaker(cfg.Breaker), cfg.Fault)
+			rep.shed = overload.NewShedder(olc.ShedTarget, olc.ShedInterval)
 			if cfg.Fault != nil {
 				if node := eng.Node(); node != nil {
 					// One hook per device, each at its own site name
@@ -185,6 +213,14 @@ func New(ixs []*index.Index, cfg Config) (*Cluster, error) {
 			g.replicas = append(g.replicas, rep)
 		}
 		c.shards = append(c.shards, g)
+	}
+	// The time each deadline reserves for the gather-side merge: the
+	// priced cost of merging a full shards x top-k candidate set, so a
+	// shard sub-deadline leaves room to assemble the answer. Computed
+	// unconditionally (it is cheap and side-effect free) because a
+	// per-query deadline may arrive even when Config.Overload is zero.
+	if c.mergeReserve = olc.MergeReserve; c.mergeReserve <= 0 {
+		c.mergeReserve = c.worstMergeCost()
 	}
 	return c, nil
 }
@@ -316,6 +352,17 @@ type ShardStats struct {
 	Retries  int
 	Hedged   bool
 	HedgeWon bool
+	// Overload markers (all false when overload control is off): Shed
+	// reports the sub-query was refused by the replica's CoDel admission
+	// rule; BudgetRejected that its final error was a device deadline-
+	// budget rejection; DeadlineExceeded that the shard answered past its
+	// sub-deadline and was dropped from the merge; HedgeSkipped that a
+	// hedge the latency warranted was suppressed by brownout or the token
+	// budget.
+	Shed             bool
+	BudgetRejected   bool
+	DeadlineExceeded bool
+	HedgeSkipped     bool
 	// Effective is the shard's contribution to the cluster critical
 	// path: the serving attempt's latency plus injected stalls and retry
 	// backoff, or min(primary, HedgeDelay + hedge) when hedged. Equals
@@ -346,6 +393,18 @@ type Stats struct {
 	Hedges    int
 	HedgeWins int
 	Fallbacks int
+	// Overload record (all zero when overload control is off): Deadline
+	// is the budget the query ran under; DeadlineMiss that it answered
+	// past it; Class its criticality; BrownoutLevel the ladder position
+	// it was served at; ForcedCPU/DegradedTopK the brownout degradation
+	// applied; HedgeSkips the hedges suppressed across its shards.
+	Deadline      time.Duration
+	DeadlineMiss  bool
+	Class         overload.Class
+	BrownoutLevel int
+	ForcedCPU     bool
+	DegradedTopK  int
+	HedgeSkips    int
 	// Shards has one record per shard, in shard order.
 	Shards []ShardStats
 }
@@ -373,7 +432,28 @@ type Result struct {
 // plans abort at the next operator boundary and Search returns ctx's
 // error without waiting for them. A nil ctx means no cancellation.
 func (c *Cluster) Search(ctx context.Context, terms []string) (*Result, error) {
-	return c.search(ctx, terms, 0, false, nil)
+	return c.search(ctx, terms, 0, false, nil, QueryOpts{})
+}
+
+// SearchWith is Search with per-query overload options: an explicit
+// deadline budget and a criticality class. Zero opts is Search exactly.
+func (c *Cluster) SearchWith(ctx context.Context, terms []string, qo QueryOpts) (*Result, error) {
+	return c.search(ctx, terms, 0, false, nil, qo)
+}
+
+// SearchAtWith is SearchAt with per-query overload options.
+func (c *Cluster) SearchAtWith(ctx context.Context, terms []string, arrival time.Duration, qo QueryOpts) (*Result, error) {
+	return c.search(ctx, terms, arrival, true, nil, qo)
+}
+
+// SearchOverlayWith is SearchOverlay with per-query overload options.
+func (c *Cluster) SearchOverlayWith(ctx context.Context, terms []string, ov Overlay, qo QueryOpts) (*Result, error) {
+	return c.search(ctx, terms, 0, false, ov, qo)
+}
+
+// SearchOverlayAtWith is SearchOverlayAt with per-query overload options.
+func (c *Cluster) SearchOverlayAtWith(ctx context.Context, terms []string, arrival time.Duration, ov Overlay, qo QueryOpts) (*Result, error) {
+	return c.search(ctx, terms, arrival, true, ov, qo)
 }
 
 // Overlay supplies per-shard execution overlays for one query — the
@@ -389,12 +469,12 @@ type Overlay interface {
 
 // SearchOverlay is Search with a per-shard live-delta overlay.
 func (c *Cluster) SearchOverlay(ctx context.Context, terms []string, ov Overlay) (*Result, error) {
-	return c.search(ctx, terms, 0, false, ov)
+	return c.search(ctx, terms, 0, false, ov, QueryOpts{})
 }
 
 // SearchOverlayAt is SearchAt with a per-shard live-delta overlay.
 func (c *Cluster) SearchOverlayAt(ctx context.Context, terms []string, arrival time.Duration, ov Overlay) (*Result, error) {
-	return c.search(ctx, terms, arrival, true, ov)
+	return c.search(ctx, terms, arrival, true, ov, QueryOpts{})
 }
 
 // SearchAt runs one cluster query arriving at an explicit simulated time
@@ -404,7 +484,7 @@ func (c *Cluster) SearchOverlayAt(ctx context.Context, terms []string, arrival t
 // latency is the arrival-to-completion sojourn of the slowest shard plus
 // merge.
 func (c *Cluster) SearchAt(ctx context.Context, terms []string, arrival time.Duration) (*Result, error) {
-	return c.search(ctx, terms, arrival, true, nil)
+	return c.search(ctx, terms, arrival, true, nil, QueryOpts{})
 }
 
 // shardOutcome is one shard's gathered sub-query: the attempt that
@@ -418,9 +498,15 @@ type shardOutcome struct {
 	retries   int
 	hedged    bool
 	hedgeWon  bool
+	// Overload-control markers: shed by the replica's admission rule,
+	// final error was a device budget rejection, hedge suppressed by
+	// brownout or token budget.
+	shed           bool
+	budgetRejected bool
+	hedgeSkipped   bool
 }
 
-func (c *Cluster) search(parent context.Context, terms []string, arrival time.Duration, timed bool, ov Overlay) (*Result, error) {
+func (c *Cluster) search(parent context.Context, terms []string, arrival time.Duration, timed bool, ov Overlay, qo QueryOpts) (*Result, error) {
 	c.queries.Add(1)
 	// "Now" for breakers and fault schedules: the arrival for timed
 	// queries, a 1ms-per-query internal clock otherwise.
@@ -428,6 +514,41 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 	if !timed {
 		now = time.Duration(c.seq.Add(1)) * time.Millisecond
 	}
+
+	// Resolve the query's deadline budget (explicit beats the default)
+	// and consult the brownout ladder before fanning out. All of this is
+	// inert — level 0, no deadline — when overload control is off.
+	deadline := qo.Deadline
+	if deadline <= 0 {
+		deadline = c.cfg.Overload.DefaultDeadline
+	}
+	level := 0
+	if c.brownout != nil {
+		level = c.brownout.Observe(now, c.pressure(now, timed))
+	}
+	if level >= 1 && qo.Class == overload.Batch {
+		// Tier 1: batch traffic is shed outright under pressure.
+		c.brownout.NoteBatchShed()
+		return nil, fmt.Errorf("cluster: batch query shed at brownout level %d: %w", level, overload.ErrShed)
+	}
+	var so core.SearchOptions
+	skipHedge := level >= 1
+	if level >= 2 {
+		// Tier 2: interactive queries are degraded, never refused —
+		// reduced top-k and a CPU-only plan that bypasses the contended
+		// device timeline entirely.
+		so.ForceCPU = true
+		so.TopK = c.degradedTopK
+		c.brownout.NoteDegraded()
+	}
+	shardBudget := time.Duration(0)
+	if deadline > 0 {
+		if shardBudget = deadline - c.mergeReserve; shardBudget <= 0 {
+			c.deadlineInfeasible.Add(1)
+			return nil, fmt.Errorf("cluster: deadline %v below merge reserve %v: %w", deadline, c.mergeReserve, overload.ErrDeadline)
+		}
+	}
+
 	ctx := parent
 	var cancel context.CancelFunc
 	if ctx != nil {
@@ -447,7 +568,7 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 		wg.Add(1)
 		go func(s int, g *shardGroup, shOv *exec.Overlay) {
 			defer wg.Done()
-			outs[s] = c.searchShard(ctx, g, terms, arrival, timed, now, shOv)
+			outs[s] = c.searchShard(ctx, g, terms, arrival, timed, now, shOv, so, shardBudget, skipHedge)
 		}(s, g, shOv)
 	}
 	if ctx != nil {
@@ -466,12 +587,20 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 	}
 
 	st := Stats{Shards: make([]ShardStats, len(c.shards))}
+	st.Deadline = deadline
+	st.Class = qo.Class
+	st.BrownoutLevel = level
+	if so.ForceCPU {
+		st.ForcedCPU = true
+		st.DegradedTopK = so.TopK
+	}
 	parts := make([][]kernels.ScoredDoc, 0, len(c.shards))
 	failures := 0
 	for s, out := range outs {
 		ss := ShardStats{
 			Shard: s, Replica: out.replica,
 			Retries: out.retries, Hedged: out.hedged, HedgeWon: out.hedgeWon,
+			Shed: out.shed, BudgetRejected: out.budgetRejected, HedgeSkipped: out.hedgeSkipped,
 			Effective: out.effective,
 		}
 		st.Retries += out.retries
@@ -480,6 +609,9 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 		}
 		if out.hedgeWon {
 			st.HedgeWins++
+		}
+		if out.hedgeSkipped {
+			st.HedgeSkips++
 		}
 		switch {
 		case out.err != nil:
@@ -498,6 +630,18 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 			if c.cfg.ShardTimeout > st.MaxShard {
 				st.MaxShard = c.cfg.ShardTimeout
 			}
+		case shardBudget > 0 && out.effective > shardBudget:
+			// Deadline propagation's gather side: the shard answered, but
+			// past its sub-deadline — the result could not make the cluster
+			// deadline, so the shard is dropped and the critical path
+			// charges the sub-deadline the gather waited out.
+			ss.DeadlineExceeded = true
+			ss.Query = out.res.Stats
+			st.Degraded = true
+			st.Missing = append(st.Missing, s)
+			if shardBudget > st.MaxShard {
+				st.MaxShard = shardBudget
+			}
 		default:
 			ss.Query = out.res.Stats
 			if out.res.Stats.FallbackCPU {
@@ -515,6 +659,24 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 	}
 	if failures == len(c.shards) {
 		c.failed.Add(1)
+		// When every shard was refused by an overload control, surface
+		// that as an overload error — callers (loadsim, the HTTP server)
+		// count shed queries apart from genuine failures.
+		sheds, rejects := 0, 0
+		for _, out := range outs {
+			if out.shed {
+				sheds++
+			} else if out.budgetRejected {
+				rejects++
+			}
+		}
+		if sheds+rejects == len(c.shards) {
+			cause := overload.ErrShed
+			if sheds == 0 {
+				cause = overload.ErrDeadline
+			}
+			return nil, fmt.Errorf("cluster: every shard refused by overload control (%d shed, %d budget-rejected): %w", sheds, rejects, cause)
+		}
 		// Report the first shard actually carrying an error (a shard may
 		// be missing for other reasons, e.g. a timeout).
 		first := ""
@@ -527,9 +689,19 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 		return nil, fmt.Errorf("%w: %d shards, first error: %s", ErrAllShardsFailed, failures, first)
 	}
 
-	docs, work := MergeTopK(parts, c.cfg.TopK)
+	topK := c.cfg.TopK
+	if so.TopK > 0 {
+		topK = so.TopK
+	}
+	docs, work := MergeTopK(parts, topK)
 	st.MergeTime = c.cfg.CPU.Time(work)
 	st.Latency = st.MaxShard + st.MergeTime
+	if deadline > 0 && st.Latency > deadline {
+		// Answered, but late: the caller gets the result and the miss is
+		// marked — goodput accounting, not failure.
+		st.DeadlineMiss = true
+		c.deadlineMisses.Add(1)
+	}
 	if docs == nil {
 		docs = []kernels.ScoredDoc{}
 	}
@@ -544,14 +716,22 @@ func (c *Cluster) search(parent context.Context, terms []string, arrival time.Du
 // breaker and sheds traffic to a healthy sibling. The returned duration
 // is the attempt's effective latency (engine latency plus any injected
 // stall); it is zero when err is non-nil.
-func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay) (*core.Result, time.Duration, error) {
+func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay, so core.SearchOptions) (*core.Result, time.Duration, error) {
 	stall, err := c.cfg.Fault.AdmitQuery(rep.site, now)
 	if err != nil {
 		rep.breaker.Record(now, false)
 		return nil, 0, err
 	}
-	res, err := rep.search(ctx, terms, arrival, timed, ov)
+	res, err := rep.search(ctx, terms, arrival, timed, ov, so)
 	if err != nil {
+		if gpu.IsBudget(err) {
+			// The device refused the work to protect the deadline; the
+			// replica is not unhealthy. Release any half-open probe
+			// reservation instead of recording a strike.
+			c.budgetRejects.Add(1)
+			rep.breaker.Cancel()
+			return nil, 0, err
+		}
 		rep.breaker.Record(now, false)
 		return nil, 0, err
 	}
@@ -564,34 +744,68 @@ func (c *Cluster) attempt(ctx context.Context, rep *replica, terms []string, arr
 	return res, res.Stats.Latency + stall, nil
 }
 
-// searchShard serves one shard of one query: route (breaker-aware),
-// attempt, retry on a sibling with modeled backoff while the budget
-// lasts, then hedge a slow result on a sibling when configured.
-func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay) shardOutcome {
+// searchShard serves one shard of one query: admission-check (CoDel
+// shed), route (breaker-aware), attempt, retry on a sibling with modeled
+// backoff while the retry budget and token bucket last, then hedge a
+// slow result on a sibling when configured and the brownout/token state
+// allows. so carries the query's brownout degradation; shardBudget the
+// shard sub-deadline (0 = none).
+func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string, arrival time.Duration, timed bool, now time.Duration, ov *exec.Overlay, so core.SearchOptions, shardBudget time.Duration, skipHedge bool) shardOutcome {
 	var out shardOutcome
-	ri, rep := g.pick(c.cfg.Routing, now)
+	ri, rep := g.pick(c.cfg.Routing, now, timed)
 	out.replica = ri
-	res, eff, err := c.attempt(ctx, rep, terms, arrival, timed, now, ov)
+
+	// Per-replica CoDel admission: shed when the backlog the sub-query
+	// would face has exceeded the target for a sustained interval. A shed
+	// sub-query is not retried — shedding then retrying on a sibling
+	// would amplify the very overload being shed. CPU-degraded queries
+	// skip the check: they never join the device queue.
+	if !so.ForceCPU && !rep.shed.Offer(now, rep.queueDelay(now, timed)) {
+		rep.breaker.Cancel() // the admitted probe (if any) never executes
+		out.shed = true
+		out.err = fmt.Errorf("shard %d replica %d admission: %w", g.id, ri, overload.ErrShed)
+		return out
+	}
+	// Every primary admission earns the shard's token bucket its
+	// fractional retry/hedge token.
+	g.budget.Admit()
+
+	soP := so
+	soP.Budget = shardBudget
+	res, eff, err := c.attempt(ctx, rep, terms, arrival, timed, now, ov, soP)
 	out.res, out.effective, out.err = res, eff, err
 
 	// Sibling retries: each failed attempt is charged the backoff before
 	// the next replica tries. Retrying the same replica is pointless in
 	// the model (it would draw the same fault stream), so the previous
-	// replica is excluded.
-	budget := c.retryBudget()
+	// replica is excluded. Each retry spends a token when the bucket is
+	// configured; a budget rejection is retryable (a sibling may hold
+	// less backlog) but still token-gated.
+	retriesLeft := c.retryBudget()
 	backoff := c.retryBackoff()
 	var waited time.Duration
-	for out.err != nil && budget > 0 && len(g.replicas) > 1 {
+	for out.err != nil && retriesLeft > 0 && len(g.replicas) > 1 {
 		if ctx != nil && ctx.Err() != nil {
 			return out
 		}
-		budget--
+		if shardBudget > 0 && shardBudget-(waited+backoff) <= 0 {
+			// The sub-deadline cannot absorb another backoff: stop.
+			break
+		}
+		if !g.budget.Take() {
+			break
+		}
+		retriesLeft--
 		out.retries++
 		c.retries.Add(1)
 		waited += backoff
 		prev := out.replica
-		ri, rep = g.pickExcluding(c.cfg.Routing, now+waited, prev)
-		res, eff, err = c.attempt(ctx, rep, terms, arrival+waited, timed, now+waited, ov)
+		ri, rep = g.pickExcluding(c.cfg.Routing, now+waited, timed, prev)
+		soR := so
+		if soR.Budget = shardBudget; shardBudget > 0 {
+			soR.Budget = shardBudget - waited
+		}
+		res, eff, err = c.attempt(ctx, rep, terms, arrival+waited, timed, now+waited, ov, soR)
 		if err == nil {
 			out.replica, out.res, out.err = ri, res, nil
 			out.effective = waited + eff
@@ -600,6 +814,7 @@ func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string
 		}
 	}
 	if out.err != nil {
+		out.budgetRejected = gpu.IsBudget(out.err)
 		return out
 	}
 
@@ -610,15 +825,27 @@ func (c *Cluster) searchShard(ctx context.Context, g *shardGroup, terms []string
 	// known then — and takes min(primary, HedgeDelay + hedge), which is
 	// exactly the latency a concurrent dispatch would have produced.
 	// Results need no reconciliation: replicas are bit-identical.
+	// Brownout level >= 1 skips hedges outright (shedding duplicated
+	// work first), and each hedge spends a token when the bucket is
+	// configured.
 	if c.cfg.HedgeDelay > 0 && len(g.replicas) > 1 && out.effective > c.cfg.HedgeDelay {
 		if ctx != nil && ctx.Err() != nil {
 			return out
 		}
+		if skipHedge || !g.budget.Take() {
+			out.hedgeSkipped = true
+			c.hedgeSkips.Add(1)
+			return out
+		}
 		hNow := now + c.cfg.HedgeDelay
-		hi, hrep := g.pickExcluding(c.cfg.Routing, hNow, out.replica)
+		hi, hrep := g.pickExcluding(c.cfg.Routing, hNow, timed, out.replica)
 		out.hedged = true
 		c.hedges.Add(1)
-		hres, heff, herr := c.attempt(ctx, hrep, terms, arrival+c.cfg.HedgeDelay, timed, hNow, ov)
+		soH := so
+		if soH.Budget = shardBudget; shardBudget > 0 {
+			soH.Budget = shardBudget - c.cfg.HedgeDelay
+		}
+		hres, heff, herr := c.attempt(ctx, hrep, terms, arrival+c.cfg.HedgeDelay, timed, hNow, ov, soH)
 		if herr == nil {
 			if hedgePath := c.cfg.HedgeDelay + heff; hedgePath < out.effective {
 				out.replica, out.res, out.effective = hi, hres, hedgePath
@@ -655,6 +882,9 @@ type ShardTelemetry struct {
 	// Batch is the replica's cross-query batching telemetry aggregated
 	// across the node's devices (nil when the batching stage is disabled).
 	Batch *gpu.BatchStats
+	// Sheds counts sub-queries refused by this replica's CoDel admission
+	// rule (zero when overload control is off).
+	Sheds int64
 }
 
 // now returns the cluster's current modeled time (the untimed clock's
@@ -690,6 +920,7 @@ func (c *Cluster) Telemetry() []ShardTelemetry {
 				bs := rep.engine().BatchStats()
 				t.Batch = &bs
 			}
+			t.Sheds = rep.shed.Stats().Sheds
 			out = append(out, t)
 		}
 	}

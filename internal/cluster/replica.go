@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"context"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"griffin/internal/core"
 	"griffin/internal/exec"
 	"griffin/internal/fault"
+	"griffin/internal/overload"
 )
 
 // Routing selects how a shard group picks the replica for one sub-query.
@@ -66,6 +68,10 @@ type replica struct {
 	// inj is the cluster's fault injector (nil when faults are off);
 	// the replica reads it for the mid-reset routing signal.
 	inj *fault.Injector
+	// shed is the replica's CoDel admission shedder (nil = admit all):
+	// sub-queries offered while the replica's backlog has exceeded the
+	// target for a sustained interval are refused instead of queued.
+	shed *overload.Shedder
 
 	inflight atomic.Int64
 	served   atomic.Int64
@@ -122,6 +128,17 @@ func (r *replica) close() {
 // reset window is charged at its own fault site, so one resetting GPU of
 // a node does not poison routing to its healthy siblings.
 func (r *replica) backlog(now time.Duration) time.Duration {
+	return r.queueDelay(now, false)
+}
+
+// queueDelay is backlog with a timed variant: discrete-event (timed)
+// queries measure the lanes' residual work at their arrival point
+// (PendingAt) — an idle-in-wall-clock device still charges the backlog
+// scheduled past the arrival — while service-path queries use the live
+// PendingTime signal. The overload controls (CoDel shedder, brownout
+// pressure) consult this so sequential load studies see the same
+// queueing delay the device timeline will actually charge.
+func (r *replica) queueDelay(now time.Duration, timed bool) time.Duration {
 	node := r.engine().Node()
 	if node == nil {
 		return r.inj.ResetRemaining(r.site, now)
@@ -129,7 +146,12 @@ func (r *replica) backlog(now time.Duration) time.Duration {
 	devices := node.Devices()
 	var best time.Duration
 	for d := 0; d < devices; d++ {
-		var b time.Duration = node.Runtime(d).PendingTime()
+		var b time.Duration
+		if timed {
+			b = node.Runtime(d).PendingAt(now)
+		} else {
+			b = node.Runtime(d).PendingTime()
+		}
 		b += r.inj.ResetRemaining(fault.DeviceSite(r.site, d, devices), now)
 		if d == 0 || b < best {
 			best = b
@@ -141,16 +163,19 @@ func (r *replica) backlog(now time.Duration) time.Duration {
 // search runs one sub-query, tracking in-flight and served counters for
 // the router and telemetry. The engine incarnation is pinned for the
 // query's whole execution: a concurrent index swap never tears a result.
-func (r *replica) search(ctx context.Context, terms []string, arrival time.Duration, timed bool, ov *exec.Overlay) (*core.Result, error) {
+// A zero opts takes the legacy engine paths byte for byte; a non-zero
+// opts threads the query's deadline budget and brownout degradation
+// into the engine (budget rejections surface as gpu.ErrBudget).
+func (r *replica) search(ctx context.Context, terms []string, arrival time.Duration, timed bool, ov *exec.Overlay, opts core.SearchOptions) (*core.Result, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
 	r.served.Add(1)
 	er := r.acquire()
 	defer er.release()
 	if timed {
-		return er.eng.SearchOverlayAtContext(ctx, terms, arrival, ov)
+		return er.eng.SearchOptsAtContext(ctx, terms, arrival, ov, opts)
 	}
-	return er.eng.SearchOverlayContext(ctx, terms, ov)
+	return er.eng.SearchOptsContext(ctx, terms, ov, opts)
 }
 
 // shardGroup is one shard's replica set.
@@ -158,6 +183,11 @@ type shardGroup struct {
 	id       int
 	rr       atomic.Int64
 	replicas []*replica
+	// budget is the shard's retry/hedge token bucket (nil = unbudgeted):
+	// primary admissions earn tokens, sibling retries and hedges spend
+	// them. Per-shard rather than cluster-wide so a sequential workload's
+	// token accounting is independent of shard-goroutine interleaving.
+	budget *overload.Budget
 }
 
 // pick selects a replica under the routing policy at modeled time now,
@@ -165,50 +195,86 @@ type shardGroup struct {
 // refuses traffic are skipped; when every breaker refuses, pick fails
 // open and routes as if all were admissible (availability over purity —
 // a wrong guess degrades, refusing outright fails).
-func (g *shardGroup) pick(routing Routing, now time.Duration) (int, *replica) {
-	return g.pickExcluding(routing, now, -1)
+func (g *shardGroup) pick(routing Routing, now time.Duration, timed bool) (int, *replica) {
+	return g.pickExcluding(routing, now, timed, -1)
 }
 
 // pickExcluding is pick with one replica index barred — the sibling
 // selection for retries and hedges (exclude < 0 bars nothing).
-func (g *shardGroup) pickExcluding(routing Routing, now time.Duration, exclude int) (int, *replica) {
+//
+// Candidacy is decided with the non-mutating breaker State (anything not
+// Open may serve), then candidates are tried in the routing policy's
+// preference order with the mutating Allow — which, on a HalfOpen
+// breaker, reserves the probe slot for the replica actually being
+// dispatched to. This ordering matters: calling Allow on every candidate
+// up front would reserve probe slots on replicas that are never picked,
+// wedging their breakers HalfOpen with no one to Record an outcome.
+func (g *shardGroup) pickExcluding(routing Routing, now time.Duration, timed bool, exclude int) (int, *replica) {
 	if len(g.replicas) == 1 {
 		return 0, g.replicas[0]
 	}
-	admissible := func(i int) bool {
-		return i != exclude && g.replicas[i].breaker.Allow(now)
-	}
 	candidates := make([]int, 0, len(g.replicas))
 	for i := range g.replicas {
-		if admissible(i) {
+		if i != exclude && g.replicas[i].breaker.State(now) != fault.Open {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) > 0 {
+		for _, i := range g.order(routing, now, timed, candidates) {
+			if g.replicas[i].breaker.Allow(now) {
+				return i, g.replicas[i]
+			}
+		}
+	}
+	// Fail open: every breaker refused (or only the excluded replica
+	// remained). Route over the full set minus the exclusion without
+	// reserving anything — availability over purity: a wrong guess
+	// degrades, refusing outright fails.
+	candidates = candidates[:0]
+	for i := range g.replicas {
+		if i != exclude {
 			candidates = append(candidates, i)
 		}
 	}
 	if len(candidates) == 0 {
-		// Fail open: every breaker refused (or only the excluded replica
-		// remained). Route over the full set minus the exclusion.
-		for i := range g.replicas {
-			if i != exclude {
-				candidates = append(candidates, i)
-			}
-		}
-		if len(candidates) == 0 {
-			return exclude, g.replicas[exclude]
-		}
+		return exclude, g.replicas[exclude]
 	}
-	if routing == LeastPending {
-		best := candidates[0]
-		bestBacklog := g.replicas[best].backlog(now)
-		bestInflight := g.replicas[best].inflight.Load()
-		for _, i := range candidates[1:] {
-			b := g.replicas[i].backlog(now)
-			fl := g.replicas[i].inflight.Load()
-			if b < bestBacklog || (b == bestBacklog && fl < bestInflight) {
-				best, bestBacklog, bestInflight = i, b, fl
-			}
-		}
-		return best, g.replicas[best]
-	}
-	i := candidates[int((g.rr.Add(1)-1)%int64(len(candidates)))]
+	i := g.order(routing, now, timed, candidates)[0]
 	return i, g.replicas[i]
+}
+
+// order arranges candidate indices in the routing policy's preference
+// order: backlog-ascending (in-flight tiebreak) for LeastPending, the
+// rotation for RoundRobin. One rr tick is consumed per call, exactly as
+// the pre-ordering picker consumed one per pick.
+func (g *shardGroup) order(routing Routing, now time.Duration, timed bool, candidates []int) []int {
+	if routing == LeastPending {
+		type load struct {
+			backlog  time.Duration
+			inflight int64
+		}
+		// Timed queries rank replicas by the backlog at the arrival point
+		// (PendingAt): a sequential timed load study would otherwise see
+		// every wall-clock-idle replica as empty and pile the whole run
+		// onto the first one while its siblings idle.
+		loads := make(map[int]load, len(candidates))
+		for _, i := range candidates {
+			loads[i] = load{g.replicas[i].queueDelay(now, timed), g.replicas[i].inflight.Load()}
+		}
+		ordered := append([]int(nil), candidates...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			la, lb := loads[ordered[a]], loads[ordered[b]]
+			if la.backlog != lb.backlog {
+				return la.backlog < lb.backlog
+			}
+			return la.inflight < lb.inflight
+		})
+		return ordered
+	}
+	start := int((g.rr.Add(1) - 1) % int64(len(candidates)))
+	ordered := make([]int, 0, len(candidates))
+	for k := 0; k < len(candidates); k++ {
+		ordered = append(ordered, candidates[(start+k)%len(candidates)])
+	}
+	return ordered
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -189,7 +190,7 @@ func TestLeastPendingAvoidsTrippedBreaker(t *testing.T) {
 		t.Fatal("replica 0 breaker did not trip")
 	}
 	for i := 0; i < 4; i++ {
-		ri, _ := g.pick(LeastPending, now)
+		ri, _ := g.pick(LeastPending, now, false)
 		if ri != 1 {
 			t.Fatalf("pick routed onto the tripped replica (got %d, want 1)", ri)
 		}
@@ -198,7 +199,7 @@ func TestLeastPendingAvoidsTrippedBreaker(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.replicas[1].breaker.Record(now, false)
 	}
-	if ri, rep := g.pick(LeastPending, now); rep == nil || ri < 0 {
+	if ri, rep := g.pick(LeastPending, now, false); rep == nil || ri < 0 {
 		t.Fatal("pick refused to route with every breaker open")
 	}
 }
@@ -224,7 +225,7 @@ func TestLeastPendingAvoidsMidResetDevice(t *testing.T) {
 	g := cl.shards[0]
 
 	// Sanity: idle tie routes to replica 0.
-	if ri, _ := g.pick(LeastPending, 0); ri != 0 {
+	if ri, _ := g.pick(LeastPending, 0, false); ri != 0 {
 		t.Fatalf("idle tie broke to replica %d, want 0", ri)
 	}
 	// Fire replica 0's reset at t=1ms (one doomed submission opens the
@@ -235,10 +236,10 @@ func TestLeastPendingAvoidsMidResetDevice(t *testing.T) {
 	}
 	// Mid-window the router must prefer the healthy (equally idle)
 	// sibling; after the window the tie reverts to replica 0.
-	if ri, _ := g.pick(LeastPending, 2*time.Millisecond); ri != 1 {
+	if ri, _ := g.pick(LeastPending, 2*time.Millisecond, false); ri != 1 {
 		t.Fatalf("mid-reset pick routed to the resetting device (got %d, want 1)", ri)
 	}
-	if ri, _ := g.pick(LeastPending, 6*time.Millisecond); ri != 0 {
+	if ri, _ := g.pick(LeastPending, 6*time.Millisecond, false); ri != 0 {
 		t.Fatalf("post-reset pick = %d, want 0 (window over)", ri)
 	}
 }
@@ -475,5 +476,75 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 	if len(log1) == 0 {
 		t.Fatal("chaos plan injected nothing (test is vacuous)")
+	}
+}
+
+// TestClusterCancelMidHedgeNoLeak extends the straggler-cancel leak
+// check to the hedge interleaving: queries on a hedging cluster (tiny
+// HedgeDelay, so every shard hedges) have their client contexts
+// cancelled at random points mid-flight — before, during, and after the
+// hedged attempt. Neither the primary nor the hedge path may leak a
+// goroutine, and the cluster must keep serving afterwards.
+func TestClusterCancelMidHedgeNoLeak(t *testing.T) {
+	c := parityCorpus(t)
+	queries := parityQueries(c, 24)
+	cl := buildCluster(t, c, 2, Config{
+		Engine:     core.Config{Mode: core.Hybrid},
+		TopK:       10,
+		Replicas:   2,
+		Routing:    LeastPending,
+		HedgeDelay: time.Nanosecond, // every sub-query is slower: always hedge
+	})
+	defer cl.Close()
+
+	// Warm path sanity: hedges actually fire on this cluster.
+	r, err := cl.Search(context.Background(), queries[0].Terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Hedges == 0 {
+		t.Fatal("hedge never dispatched (test is vacuous)")
+	}
+
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, terms []string) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			switch i % 3 {
+			case 0:
+				cancel() // dead on arrival
+			case 1:
+				// Mid-flight: fires between operator boundaries of the
+				// primary or the hedged attempt.
+				timer := time.AfterFunc(time.Duration(i)*10*time.Microsecond, cancel)
+				defer timer.Stop()
+			}
+			if _, err := cl.Search(ctx, terms); err != nil &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, ErrAllShardsFailed) {
+				t.Errorf("cancelled hedged query error = %v", err)
+			}
+		}(i, q.Terms)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after cancelled hedged run", before, after)
+	}
+
+	// The cluster still serves normal queries afterwards.
+	if _, err := cl.Search(context.Background(), queries[0].Terms); err != nil {
+		t.Fatal(err)
 	}
 }

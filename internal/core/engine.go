@@ -519,6 +519,13 @@ func (e *Engine) affinitySavings(terms []string) []time.Duration {
 }
 
 func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStream, ov *exec.Overlay) (*Result, error) {
+	return e.searchOpts(cancel, terms, h, ov, SearchOptions{})
+}
+
+// searchOpts is search parameterized by per-query overload options: a
+// top-k override and a forced CPU-only plan (brownout degradation). The
+// zero SearchOptions reproduces search exactly.
+func (e *Engine) searchOpts(cancel context.Context, terms []string, h *gpu.QueryStream, ov *exec.Overlay, opts SearchOptions) (*Result, error) {
 	fetches := make([]exec.Fetch, len(terms))
 	for i, t := range terms {
 		fetches[i] = exec.Fetch{Term: t}
@@ -534,6 +541,10 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 		// are unchanged.
 		device = e.node.Runtime(h.Device()).Device()
 	}
+	topK := e.cfg.TopK
+	if opts.TopK > 0 {
+		topK = opts.TopK
+	}
 	ctx := &exec.Context{
 		Ctx:           cancel,
 		CPU:           e.cfg.CPU,
@@ -542,7 +553,7 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 		Lists:         e.listProvider(),
 		Scorer:        e.scorer,
 		SkipThreshold: e.cfg.CPUSkipThreshold,
-		TopK:          e.cfg.TopK,
+		TopK:          topK,
 	}
 	if ov != nil {
 		ctx.Delta = ov.Delta
@@ -550,10 +561,19 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 			ctx.Scorer = ov.Scorer
 		}
 	}
-	out, err := exec.Run(ctx, fetches, e.planBuilder(e.queryPolicy(h)))
+	builder := e.planBuilder(e.queryPolicy(h))
+	if opts.ForceCPU {
+		// Brownout degradation: the hybrid symmetry that backs fault
+		// fallback also backs load shedding — the CPU plan computes the
+		// same answer without touching the contended device timeline.
+		builder = func(ordered []*index.PostingList) exec.Builder {
+			return exec.NewCPUBuilder(ordered)
+		}
+	}
+	out, err := exec.Run(ctx, fetches, builder)
 	if err != nil {
-		if fault.IsDeviceFault(err) && !e.cfg.NoCPUFallback && e.cfg.Mode != CPUOnly {
-			return e.fallbackCPU(cancel, fetches, h, ov, err)
+		if fault.IsDeviceFault(err) && !e.cfg.NoCPUFallback && e.cfg.Mode != CPUOnly && !opts.ForceCPU {
+			return e.fallbackCPU(cancel, fetches, h, ov, err, topK)
 		}
 		return nil, err
 	}
@@ -568,7 +588,7 @@ func (e *Engine) search(cancel context.Context, terms []string, h *gpu.QueryStre
 // plus queueing delay) is charged to the fallback's stats as
 // FaultWasted/GPUTime: the failed attempt happened on the timeline even
 // though its results were discarded.
-func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gpu.QueryStream, ov *exec.Overlay, cause error) (*Result, error) {
+func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gpu.QueryStream, ov *exec.Overlay, cause error, topK int) (*Result, error) {
 	var wasted time.Duration
 	if h != nil {
 		wasted = h.Stream().Elapsed()
@@ -578,7 +598,7 @@ func (e *Engine) fallbackCPU(cancel context.Context, fetches []exec.Fetch, h *gp
 		CPU:           e.cfg.CPU,
 		Scorer:        e.scorer,
 		SkipThreshold: e.cfg.CPUSkipThreshold,
-		TopK:          e.cfg.TopK,
+		TopK:          topK,
 	}
 	if ov != nil {
 		// The fallback re-plans on the CPU but keeps the query's pinned

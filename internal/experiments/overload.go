@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"griffin/internal/cluster"
+	"griffin/internal/core"
+	"griffin/internal/index"
+	"griffin/internal/loadsim"
+	"griffin/internal/overload"
+	"griffin/internal/workload"
+)
+
+// OverloadPoint is one offered-load multiple of the saturation sweep,
+// measured twice over the identical Poisson workload: hardened (deadline
+// propagation, admission shedding, retry/hedge budget, brownout) and
+// baseline (every control off, queries only scored against the deadline
+// after the fact).
+type OverloadPoint struct {
+	// Multiplier is the offered load as a multiple of the calibrated
+	// saturation rate; Rate the resulting queries/second.
+	Multiplier float64
+	Rate       float64
+	// Goodput is the hardened arm's interactive goodput (complete,
+	// on-deadline answers over offered interactive queries);
+	// BatchGoodput the same for batch traffic (shed first under
+	// brownout); BaselineGoodput the baseline arm's interactive goodput.
+	Goodput         float64
+	BatchGoodput    float64
+	BaselineGoodput float64
+	// P99/BaselineP99 are answered-query sojourn tails.
+	P99         time.Duration
+	BaselineP99 time.Duration
+	// Sheds counts the hardened arm's overload refusals (admission sheds,
+	// batch brownout sheds, deadline-infeasible rejections);
+	// BrownoutDegraded its queries served through the brownout CPU path;
+	// DeadlineMisses its answers that landed past the deadline.
+	Sheds            int
+	BrownoutDegraded int
+	DeadlineMisses   int
+	// RetryHedge totals the hardened arm's token-gated retries and
+	// hedges; HedgeSkips the hedges the budget or brownout suppressed.
+	// TokensGranted is the token bucket's lifetime grant count, bounded
+	// by TokenBound = shards x burst + ratio x admissions — the
+	// metastability guarantee, asserted per cell.
+	RetryHedge    int
+	HedgeSkips    int
+	TokensGranted int64
+	TokenBound    float64
+}
+
+// OverloadSweepResult is the saturation sweep: goodput against offered
+// load, hardened vs baseline, around the calibrated saturation rate.
+type OverloadSweepResult struct {
+	// Deadline is the per-query latency budget (calibrated from the
+	// clean and CPU-only means); Saturation the calibrated capacity in
+	// queries/second.
+	Deadline   time.Duration
+	Saturation float64
+	Points     []OverloadPoint
+}
+
+// overloadCorpus is a device-heavy scatter-gather corpus: long enough
+// lists that the device timeline is the bottleneck (so overload is
+// queueing, not CPU work), small enough that the sweep's cluster builds
+// stay cheap.
+func overloadCorpus(cfg Config) (*workload.Corpus, [][]string, error) {
+	c, err := workload.GenerateCorpus(workload.CorpusSpec{
+		NumDocs:    cfg.scaled(1_500_000, 200_000),
+		NumTerms:   cfg.scaled(24, 12),
+		MaxListLen: cfg.scaled(800_000, 60_000),
+		MinListLen: cfg.scaled(150_000, 15_000),
+		Alpha:      0.6,
+		Codec:      index.CodecEF,
+		Seed:       cfg.Seed + 401,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := workload.GenerateQueryLog(c, workload.QuerySpec{
+		NumQueries: cfg.scaled(400, 80), PopularityAlpha: 0.5, Seed: cfg.Seed + 409,
+	})
+	sample := make([][]string, len(queries))
+	for i, q := range queries {
+		sample[i] = q.Terms
+	}
+	return c, sample, nil
+}
+
+// RunOverloadSweep measures goodput (complete, on-deadline answers over
+// offered load) against offered load from 0.2x to 3x the calibrated
+// saturation rate on a 2-shard, 2-replica hybrid cluster. Each point
+// runs twice over the identical Poisson workload: hardened — deadline
+// budgets propagated to device admission, CoDel admission shedding,
+// token-budgeted retries/hedges, two-tier brownout (shed batch, then
+// degrade interactive to a reduced-top-k CPU-only plan) — and baseline,
+// with every control off. Past saturation the baseline's backlog grows
+// without bound and its goodput collapses; the hardened cluster keeps
+// answering interactive traffic within deadline by shedding batch and
+// spending CPU instead of the saturated device. Everything is seeded:
+// the same Config reproduces the identical table bit for bit.
+func RunOverloadSweep(cfg Config) (OverloadSweepResult, *Table, error) {
+	c, sample, err := overloadCorpus(cfg)
+	if err != nil {
+		return OverloadSweepResult{}, nil, err
+	}
+	const shards, replicas = 2, 2
+
+	mk := func(mode core.Mode, olc overload.Config, hedge time.Duration) (*cluster.Cluster, error) {
+		ixs, err := workload.PartitionCorpus(c, shards)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.New(ixs, cluster.Config{
+			Engine:     core.Config{Mode: mode, CPU: cfg.CPU},
+			TopK:       10,
+			CPU:        cfg.CPU,
+			Replicas:   replicas,
+			Routing:    cluster.LeastPending,
+			HedgeDelay: hedge,
+			Overload:   olc,
+		})
+	}
+
+	// Calibration pass 1: clean sequential hybrid run — the mean latency
+	// of an unloaded query sets the deadline and hedge delay.
+	iso, err := mk(core.Hybrid, overload.Config{}, 0)
+	if err != nil {
+		return OverloadSweepResult{}, nil, err
+	}
+	var sum time.Duration
+	for _, q := range sample {
+		r, err := iso.Search(context.Background(), q)
+		if err != nil {
+			iso.Close()
+			return OverloadSweepResult{}, nil, err
+		}
+		sum += r.Stats.Latency
+	}
+	iso.Close()
+	cleanMean := sum / time.Duration(len(sample))
+
+	// Calibration pass 1b: burst every query at t=0 on a fresh cluster
+	// and read the drain makespan — the achievable throughput with every
+	// pipeline (compute, transfer, reset) accounted for, which a
+	// busy-time estimate would overstate.
+	burst, err := mk(core.Hybrid, overload.Config{}, 0)
+	if err != nil {
+		return OverloadSweepResult{}, nil, err
+	}
+	var drain time.Duration
+	for _, q := range sample {
+		r, err := burst.SearchAt(context.Background(), q, 0)
+		if err != nil {
+			burst.Close()
+			return OverloadSweepResult{}, nil, err
+		}
+		if r.Stats.Latency > drain {
+			drain = r.Stats.Latency
+		}
+	}
+	burst.Close()
+	if drain <= 0 {
+		return OverloadSweepResult{}, nil, fmt.Errorf("overload sweep: burst calibration measured no drain time")
+	}
+	saturation := float64(len(sample)) / drain.Seconds()
+
+	// Calibration pass 2: CPU-only mean — the brownout escape path must
+	// fit inside the deadline with margin, or degrading to CPU would
+	// trade budget rejections for deadline misses.
+	cpuIso, err := mk(core.CPUOnly, overload.Config{}, 0)
+	if err != nil {
+		return OverloadSweepResult{}, nil, err
+	}
+	var cpuSum time.Duration
+	for _, q := range sample {
+		r, err := cpuIso.Search(context.Background(), q)
+		if err != nil {
+			cpuIso.Close()
+			return OverloadSweepResult{}, nil, err
+		}
+		cpuSum += r.Stats.Latency
+	}
+	cpuIso.Close()
+	cpuMean := cpuSum / time.Duration(len(sample))
+
+	// Deadline: generous against both the clean hybrid path and the
+	// brownout CPU escape path. Thresholds are spaced so that under
+	// sustained overload the ladder engages before the deadline budget
+	// starts rejecting device work (escalate < deadline - merge reserve),
+	// while light-load queueing bursts stay well below the entry point.
+	deadline := 8 * cleanMean
+	if d := 4 * cpuMean; d > deadline {
+		deadline = d
+	}
+	hedge := 2 * cleanMean
+	// The escalate threshold must sit below the backlog ceiling the
+	// deadline budget itself enforces (shard budget minus a query's CPU
+	// prefix and device op cost), or level 2 can never be observed: the
+	// budget starts rejecting — degrading answers shard by shard —
+	// before the pressure signal reaches the ladder's trip point.
+	hardened := overload.Config{
+		ShedTarget:       3 * deadline / 5,
+		ShedInterval:     cleanMean,
+		RetryBudget:      0.1,
+		BrownoutEnter:    deadline / 2,
+		BrownoutEscalate: 3 * deadline / 5,
+		BrownoutHold:     8 * cleanMean,
+		DegradedTopK:     5,
+	}
+
+	res := OverloadSweepResult{Deadline: deadline, Saturation: saturation}
+	t := &Table{
+		Title: "Extension: overload sweep (goodput vs offered load, hardened vs baseline)",
+		Header: []string{"load", "goodput", "goodput (base)", "batch goodput", "sheds", "cpu-degraded",
+			"misses", "P99", "P99 (base)", "retry+hedge", "tokens/bound"},
+		Notes: []string{
+			"2 shards x 2 replicas, hybrid engines; identical seeded Poisson workload (20% batch) for both columns of each row",
+			"hardened: per-query deadline propagated to device admission + CoDel admission shedding + token-budgeted retries/hedges (10%) + two-tier brownout (shed batch, then serve interactive via reduced-top-k CPU-only plans)",
+			"baseline: every overload control off — queries are only scored against the deadline after the fact",
+			"goodput = complete answers within the deadline over offered interactive queries",
+			fmt.Sprintf("deadline %s ms = max(8x clean mean %s ms, 4x cpu-only mean %s ms); saturation %.0f q/s from burst drain makespan",
+				ms(deadline), ms(cleanMean), ms(cpuMean), saturation),
+		},
+	}
+
+	for i, mult := range []float64{0.2, 0.5, 1, 1.5, 2, 3} {
+		rate := mult * saturation
+		spec := loadsim.OverloadSpec{
+			ArrivalRate:   rate,
+			Seed:          cfg.Seed + 431 + int64(i),
+			Deadline:      deadline,
+			BatchFraction: 0.2,
+		}
+		run := func(hard bool) (loadsim.OverloadResult, *cluster.Cluster, error) {
+			olc, hd := overload.Config{}, time.Duration(0)
+			if hard {
+				olc, hd = hardened, hedge
+			}
+			cl, err := mk(core.Hybrid, olc, hd)
+			if err != nil {
+				return loadsim.OverloadResult{}, nil, err
+			}
+			sp := spec
+			sp.PropagateDeadline = hard
+			r, err := loadsim.RunOverload(cl, sample, sp)
+			if err != nil {
+				cl.Close()
+				return loadsim.OverloadResult{}, nil, err
+			}
+			return r, cl, nil
+		}
+		hard, hcl, err := run(true)
+		if err != nil {
+			return OverloadSweepResult{}, nil, err
+		}
+		ost := hcl.Overload()
+		hcl.Close()
+		base, bcl, err := run(false)
+		if err != nil {
+			return OverloadSweepResult{}, nil, err
+		}
+		bcl.Close()
+
+		p := OverloadPoint{
+			Multiplier:       mult,
+			Rate:             rate,
+			Goodput:          hard.Interactive.Goodput(),
+			BatchGoodput:     hard.Batch.Goodput(),
+			BaselineGoodput:  base.Interactive.Goodput(),
+			P99:              hard.Latencies.Percentile(99),
+			BaselineP99:      base.Latencies.Percentile(99),
+			Sheds:            hard.Interactive.Shed + hard.Batch.Shed,
+			BrownoutDegraded: hard.BrownoutDegraded,
+			DeadlineMisses:   hard.Interactive.DeadlineMisses + hard.Batch.DeadlineMisses,
+			RetryHedge:       hard.Retries + hard.Hedges,
+			HedgeSkips:       hard.HedgeSkips,
+			TokensGranted:    ost.RetryBudget.Granted,
+			TokenBound:       float64(shards)*overload.DefaultRetryBurst + 0.1*float64(ost.RetryBudget.Admissions),
+		}
+		res.Points = append(res.Points, p)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1fx", mult),
+			fmt.Sprintf("%.2f%%", p.Goodput*100),
+			fmt.Sprintf("%.2f%%", p.BaselineGoodput*100),
+			fmt.Sprintf("%.2f%%", p.BatchGoodput*100),
+			fmt.Sprintf("%d", p.Sheds),
+			fmt.Sprintf("%d", p.BrownoutDegraded),
+			fmt.Sprintf("%d", p.DeadlineMisses),
+			ms(p.P99), ms(p.BaselineP99),
+			fmt.Sprintf("%d", p.RetryHedge),
+			fmt.Sprintf("%d/%.0f", p.TokensGranted, p.TokenBound),
+		})
+	}
+	return res, t, nil
+}

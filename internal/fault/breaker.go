@@ -69,6 +69,7 @@ type Breaker struct {
 	state     BreakerState
 	strikes   int // consecutive failures while Closed
 	successes int // consecutive probe successes while HalfOpen
+	probing   int // probe slots currently reserved while HalfOpen
 	openUntil time.Duration
 	trips     int64
 }
@@ -83,7 +84,11 @@ func (b *Breaker) Disabled() bool { return b.cfg.Threshold < 0 }
 
 // Allow reports whether a request may proceed at modeled time now. An
 // Open breaker whose cooldown has expired transitions to HalfOpen and
-// admits the probe.
+// admits the probe. A HalfOpen breaker reserves a probe slot per
+// admission and holds at most Probes outstanding reservations — two
+// concurrent callers cannot both be admitted as *the* probe. Each
+// admitted probe must settle its reservation with Record (an outcome)
+// or Cancel (the attempt never executed).
 func (b *Breaker) Allow(now time.Duration) bool {
 	if b.Disabled() {
 		return true
@@ -97,11 +102,31 @@ func (b *Breaker) Allow(now time.Duration) bool {
 		if now >= b.openUntil {
 			b.state = HalfOpen
 			b.successes = 0
+			b.probing = 1
 			return true
 		}
 		return false
-	default: // HalfOpen: admit probes
+	default: // HalfOpen: admit up to Probes outstanding reservations
+		if b.probing >= b.cfg.Probes {
+			return false
+		}
+		b.probing++
 		return true
+	}
+}
+
+// Cancel releases a probe slot reserved by Allow when the admitted
+// attempt never executed (e.g. shed upstream before reaching the
+// replica), so an unused reservation cannot wedge a HalfOpen breaker.
+// No-op in any other state.
+func (b *Breaker) Cancel() {
+	if b.Disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probing > 0 {
+		b.probing--
 	}
 }
 
@@ -128,6 +153,9 @@ func (b *Breaker) Record(now time.Duration, ok bool) {
 	case Open:
 		// A straggler finishing after the trip; ignore.
 	case HalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
 		if !ok {
 			b.trip(now)
 			return
@@ -136,6 +164,7 @@ func (b *Breaker) Record(now time.Duration, ok bool) {
 		if b.successes >= b.cfg.Probes {
 			b.state = Closed
 			b.strikes = 0
+			b.probing = 0
 		}
 	}
 }
@@ -146,6 +175,7 @@ func (b *Breaker) trip(now time.Duration) {
 	b.openUntil = now + b.cfg.Cooldown
 	b.strikes = 0
 	b.successes = 0
+	b.probing = 0
 	b.trips++
 }
 

@@ -265,6 +265,71 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerConcurrentHalfOpenProbes races many goroutines against a
+// half-open breaker: exactly Probes of them may be admitted as the
+// probe, a probe failure re-opens cleanly with no stuck reservations,
+// and a cancelled reservation frees the slot for another caller.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	const attempts = 64
+	for seed := 0; seed < 3; seed++ {
+		b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Millisecond, Probes: 1})
+		b.Record(0, false) // trip
+		if b.State(0) != Open {
+			t.Fatalf("seed %d: breaker not open after threshold failure", seed)
+		}
+		now := 10 * time.Millisecond
+
+		var wg sync.WaitGroup
+		admitted := make([]bool, attempts)
+		for i := 0; i < attempts; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				admitted[i] = b.Allow(now)
+			}(i)
+		}
+		wg.Wait()
+		wins := 0
+		for _, ok := range admitted {
+			if ok {
+				wins++
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("seed %d: %d goroutines admitted as the half-open probe, want exactly 1", seed, wins)
+		}
+
+		// The probe fails: the breaker re-opens cleanly and refuses
+		// everything until the next cooldown.
+		b.Record(now, false)
+		if b.State(now) != Open || b.Trips() != 2 {
+			t.Fatalf("seed %d: failed probe did not re-open (state=%v trips=%d)", seed, b.State(now), b.Trips())
+		}
+		if b.Allow(now + 5*time.Millisecond) {
+			t.Fatalf("seed %d: admitted during post-probe cooldown", seed)
+		}
+
+		// Next half-open window: the slot is free again (no reservation
+		// leaked from the failed round); a cancelled reservation frees the
+		// slot, and a successful probe re-closes.
+		now += 10 * time.Millisecond
+		if !b.Allow(now) {
+			t.Fatalf("seed %d: probe slot leaked from previous round", seed)
+		}
+		if b.Allow(now) {
+			t.Fatalf("seed %d: second concurrent probe admitted", seed)
+		}
+		b.Cancel()
+		if !b.Allow(now) {
+			t.Fatalf("seed %d: cancelled reservation did not free the slot", seed)
+		}
+		b.Record(now, true)
+		if b.State(now) != Closed || !b.Allow(now) {
+			t.Fatalf("seed %d: breaker did not re-close after probe success", seed)
+		}
+	}
+}
+
 func TestBreakerDisabled(t *testing.T) {
 	b := NewBreaker(BreakerConfig{Threshold: -1})
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,121 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"griffin/internal/hwmodel"
+)
+
+// submitCompute pushes one fixed-cost kernel through the handle to build
+// compute-lane backlog.
+func submitCompute(t *testing.T, h *QueryStream) {
+	t.Helper()
+	if err := h.Submit(ComputeEngine, func(s *Stream) error {
+		s.Launch(testKernel("budget-work"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmitBudgetUnbudgetedMatchesAdmit(t *testing.T) {
+	rt := NewRuntime(New(hwmodel.DefaultGPU(), 0), 1)
+	h, err := rt.AdmitBudget(0, time.Hour)
+	if err != nil || h == nil {
+		t.Fatalf("unbudgeted admit: %v", err)
+	}
+	h.Release()
+	// Negative budget is also "no budget".
+	h, err = rt.AdmitBudget(-time.Second, time.Hour)
+	if err != nil || h == nil {
+		t.Fatalf("negative budget admit: %v", err)
+	}
+	h.Release()
+}
+
+func TestAdmitAtBudgetRejectsWithoutTimelineMutation(t *testing.T) {
+	rt := NewRuntime(New(hwmodel.DefaultGPU(), 0), 1)
+	// Build real backlog on the single compute lane.
+	for i := 0; i < 4; i++ {
+		h := rt.AdmitAt(0)
+		submitCompute(t, h)
+		h.Release()
+	}
+	backlog := rt.PendingAt(time.Microsecond)
+	if backlog <= 0 {
+		t.Fatal("no backlog built")
+	}
+
+	clockBefore := rt.Stats().Horizon
+	admittedBefore := rt.Stats().Admitted
+
+	// Budget smaller than backlog alone: rejected.
+	h, err := rt.AdmitAtBudget(time.Microsecond, backlog/2, 0)
+	if !IsBudget(err) || h != nil {
+		t.Fatalf("want budget rejection, got %v", err)
+	}
+	// Budget covers backlog but not backlog+est: rejected.
+	if _, err := rt.AdmitAtBudget(time.Microsecond, backlog+time.Nanosecond, time.Millisecond); !IsBudget(err) {
+		t.Fatalf("want budget rejection with est, got %v", err)
+	}
+	// Rejections leave no trace: same admitted count, same horizon, and a
+	// later arrival sees the same backlog.
+	if got := rt.Stats().Admitted; got != admittedBefore {
+		t.Errorf("rejection consumed an admission: %d != %d", got, admittedBefore)
+	}
+	if got := rt.Stats().Horizon; got != clockBefore {
+		t.Errorf("rejection moved the horizon: %v != %v", got, clockBefore)
+	}
+	if got := rt.PendingAt(time.Microsecond); got != backlog {
+		t.Errorf("rejection changed backlog: %v != %v", got, backlog)
+	}
+
+	// Ample budget: admitted, identical to AdmitAt.
+	h, err = rt.AdmitAtBudget(time.Microsecond, backlog+10*time.Millisecond, time.Millisecond)
+	if err != nil || h == nil {
+		t.Fatalf("ample budget rejected: %v", err)
+	}
+	h.Release()
+}
+
+func TestAdmitBudgetIdleFastForwardClearsBacklog(t *testing.T) {
+	rt := NewRuntime(New(hwmodel.DefaultGPU(), 0), 1)
+	// Accumulate work, then drain: the untimed path fast-forwards past
+	// the horizon, so an idle device never rejects.
+	h := rt.Admit()
+	submitCompute(t, h)
+	h.Release()
+	got, err := rt.AdmitBudget(time.Nanosecond, 0)
+	if err != nil || got == nil {
+		t.Fatalf("idle device rejected a tiny budget: %v", err)
+	}
+	got.Release()
+}
+
+func TestNodeBudgetAdmission(t *testing.T) {
+	n := NewNode(New(hwmodel.DefaultGPU(), 0), 2, 1)
+	// Load device 0 only.
+	for i := 0; i < 4; i++ {
+		h := n.AdmitAtOn(0, 0)
+		submitCompute(t, h)
+		h.Release()
+	}
+	backlog := n.BacklogsAt(time.Microsecond)
+	if backlog[0] <= 0 || backlog[1] != 0 {
+		t.Fatalf("backlogs: %v", backlog)
+	}
+	if _, err := n.AdmitAtOnBudget(0, time.Microsecond, backlog[0]/2, 0); !IsBudget(err) {
+		t.Fatalf("loaded device: want rejection, got %v", err)
+	}
+	h, err := n.AdmitAtOnBudget(1, time.Microsecond, backlog[0]/2, 0)
+	if err != nil || h == nil {
+		t.Fatalf("idle device rejected: %v", err)
+	}
+	h.Release()
+	if h2, err := n.AdmitOnBudget(1, time.Hour, 0); err != nil {
+		t.Fatalf("AdmitOnBudget: %v", err)
+	} else {
+		h2.Release()
+	}
+}

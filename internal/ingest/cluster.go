@@ -490,16 +490,23 @@ func (c *Cluster) Search(terms []string) (*ClusterResult, error) {
 
 // SearchContext is Search with a cancellation context.
 func (c *Cluster) SearchContext(ctx context.Context, terms []string) (*ClusterResult, error) {
-	return c.search(ctx, terms, 0, false)
+	return c.search(ctx, terms, 0, false, cluster.QueryOpts{})
+}
+
+// SearchOptsContext is SearchContext with per-query overload options
+// (deadline budget, criticality class), threaded through to the
+// underlying cluster. Zero opts is SearchContext exactly.
+func (c *Cluster) SearchOptsContext(ctx context.Context, terms []string, qo cluster.QueryOpts) (*ClusterResult, error) {
+	return c.search(ctx, terms, 0, false, qo)
 }
 
 // SearchAt runs one cluster query arriving at an explicit simulated time
 // on every shard runtime's timeline (the load-study entry point).
 func (c *Cluster) SearchAt(terms []string, arrival time.Duration) (*ClusterResult, error) {
-	return c.search(nil, terms, arrival, true)
+	return c.search(nil, terms, arrival, true, cluster.QueryOpts{})
 }
 
-func (c *Cluster) search(ctx context.Context, terms []string, arrival time.Duration, timed bool) (*ClusterResult, error) {
+func (c *Cluster) search(ctx context.Context, terms []string, arrival time.Duration, timed bool, qo cluster.QueryOpts) (*ClusterResult, error) {
 	s, err := c.acquireFresh()
 	if err != nil {
 		return nil, err
@@ -512,9 +519,9 @@ func (c *Cluster) search(ctx context.Context, terms []string, arrival time.Durat
 	}
 	var res *cluster.Result
 	if timed {
-		res, err = s.topo.c.SearchOverlayAt(ctx, terms, arrival, ov)
+		res, err = s.topo.c.SearchOverlayAtWith(ctx, terms, arrival, ov, qo)
 	} else {
-		res, err = s.topo.c.SearchOverlay(ctx, terms, ov)
+		res, err = s.topo.c.SearchOverlayWith(ctx, terms, ov, qo)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,191 @@
+package overload
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets gate tests drive wall time deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestGateNilAndDisabled(t *testing.T) {
+	var g *Gate
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("nil gate: %v", err)
+	}
+	g.Leave()
+	if g.Stats() != (GateStats{}) {
+		t.Errorf("nil stats: %+v", g.Stats())
+	}
+	if NewGate(0, 0, 0) != nil || NewGate(-3, 0, 0) != nil {
+		t.Error("non-positive max must disable the gate")
+	}
+}
+
+func TestGateAdmitsUpToMax(t *testing.T) {
+	g := NewGate(3, time.Second, 2*time.Second)
+	for i := 0; i < 3; i++ {
+		if err := g.Enter(context.Background()); err != nil {
+			t.Fatalf("enter %d: %v", i, err)
+		}
+	}
+	st := g.Stats()
+	if st.Inflight != 3 || st.QueueDepth != 0 || st.Admitted != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+	g.Leave()
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("enter after leave: %v", err)
+	}
+}
+
+func TestGateQueuesAndHandsOff(t *testing.T) {
+	g := NewGate(1, time.Hour, time.Hour)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- g.Enter(context.Background()) }()
+	// Wait for the waiter to register, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Leave()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if st := g.Stats(); st.Inflight != 1 || st.QueueDepth != 0 || st.Admitted != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestGateContextCancelRemovesWaiter(t *testing.T) {
+	g := NewGate(1, time.Hour, time.Hour)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- g.Enter(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; err != context.Canceled {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	if st := g.Stats(); st.QueueDepth != 0 {
+		t.Errorf("waiter leaked: %+v", st)
+	}
+	// The slot is still held by the first entrant and usable after Leave.
+	g.Leave()
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("enter after cancel+leave: %v", err)
+	}
+}
+
+func TestGateShedsOnSustainedQueueAge(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	g := NewGate(1, 10*time.Millisecond, 20*time.Millisecond)
+	g.now = clk.now
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter queues; its age will exceed the target.
+	queued := make(chan error, 1)
+	go func() { queued <- g.Enter(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Age 15ms > target: first overage observation starts the window but
+	// the arrival still queues (cancel it immediately to keep the test
+	// single-threaded).
+	clk.advance(15 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Enter(ctx); err != context.Canceled {
+		t.Fatalf("first overage arrival: %v", err)
+	}
+	// Still above target but inside the interval: queued, not shed.
+	clk.advance(10 * time.Millisecond)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := g.Enter(ctx2); err != context.Canceled {
+		t.Fatalf("inside-interval arrival: %v", err)
+	}
+	// Past the interval: shed.
+	clk.advance(15 * time.Millisecond)
+	if err := g.Enter(context.Background()); err != ErrShed {
+		t.Fatalf("sustained overage arrival: %v", err)
+	}
+	if st := g.Stats(); st.Sheds != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+
+	// Draining resets: release the slot, the waiter runs, new arrivals
+	// are admitted again.
+	g.Leave()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Leave()
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("post-drain arrival: %v", err)
+	}
+}
+
+func TestGateConcurrentChurn(t *testing.T) {
+	g := NewGate(4, time.Hour, time.Hour)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := g.Enter(context.Background()); err != nil {
+					t.Errorf("enter: %v", err)
+					return
+				}
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats after drain: %+v", st)
+	}
+	if st.Admitted != 32*50 {
+		t.Errorf("admitted: %d", st.Admitted)
+	}
+}

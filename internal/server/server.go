@@ -22,6 +22,7 @@ import (
 	"griffin/internal/gpu"
 	"griffin/internal/index"
 	"griffin/internal/ingest"
+	"griffin/internal/overload"
 )
 
 // Server routes search traffic to an engine or a cluster, optionally
@@ -37,11 +38,18 @@ type Server struct {
 	// "degraded" (0 = no freshness check). Live backends only.
 	freshness int
 
+	// gate bounds in-flight /search requests on the wall clock (nil =
+	// unbounded); installed by ConfigureOverload.
+	gate *overload.Gate
+
 	queries  atomic.Int64
 	errors   atomic.Int64
 	degraded atomic.Int64
 	simNanos atomic.Int64
 	ingested atomic.Int64
+	// sheds counts /search requests refused with 503 by cluster-level
+	// overload control (the gate keeps its own shed counter).
+	sheds atomic.Int64
 }
 
 // New wraps a single engine. The engine must outlive the server.
@@ -127,6 +135,19 @@ type SearchResponse struct {
 	Retries   int `json:"retries,omitempty"`
 	Hedges    int `json:"hedges,omitempty"`
 	Fallbacks int `json:"fallbacks,omitempty"`
+	// Overload record, all omitted when overload control is off so the
+	// pre-overload response body is byte-identical: the deadline budget
+	// the query ran under and whether it missed, the criticality class
+	// (only "batch" is marked), the brownout level it was served at, and
+	// the degradation applied (CPU-only plan, reduced top-k, hedges
+	// suppressed).
+	DeadlineMS    float64 `json:"deadline_ms,omitempty"`
+	DeadlineMiss  bool    `json:"deadline_miss,omitempty"`
+	Class         string  `json:"class,omitempty"`
+	BrownoutLevel int     `json:"brownout_level,omitempty"`
+	ForcedCPU     bool    `json:"forced_cpu,omitempty"`
+	DegradedTopK  int     `json:"degraded_top_k,omitempty"`
+	HedgeSkips    int     `json:"hedge_skips,omitempty"`
 	// Plan is the executed physical query plan, present when the request
 	// set trace=1 on a single-engine server.
 	Plan []PlanOpJSON `json:"plan,omitempty"`
@@ -182,6 +203,14 @@ type ShardTraceJSON struct {
 	FallbackCPU bool    `json:"fallback_cpu,omitempty"`
 	Fault       string  `json:"fault,omitempty"`
 	EffectiveMS float64 `json:"effective_ms,omitempty"`
+	// Overload markers (omitted when overload control is off): the
+	// sub-query was shed by the replica's admission rule, refused by
+	// device budget admission, answered past its sub-deadline and
+	// dropped, or had its hedge suppressed.
+	Shed             bool `json:"shed,omitempty"`
+	BudgetRejected   bool `json:"budget_rejected,omitempty"`
+	DeadlineExceeded bool `json:"deadline_exceeded,omitempty"`
+	HedgeSkipped     bool `json:"hedge_skipped,omitempty"`
 }
 
 // HitJSON is one ranked result.
@@ -214,9 +243,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = v
 	}
 	trace := r.URL.Query().Get("trace") == "1"
+	qo, ok := s.parseQueryOpts(w, r)
+	if !ok {
+		return
+	}
+
+	// Wall-clock admission: bound in-flight work before touching any
+	// backend. A shed here is the cheapest refusal the server can make.
+	if err := s.gate.Enter(r.Context()); err != nil {
+		if errors.Is(err, overload.ErrShed) {
+			http.Error(w, "overloaded: "+err.Error(), http.StatusServiceUnavailable)
+		} // context gone: the client left, nothing useful to write
+		return
+	}
+	defer s.gate.Leave()
 
 	if s.cluster != nil || s.liveCluster != nil {
-		s.searchCluster(w, r, terms, k, trace)
+		s.searchCluster(w, r, terms, k, trace, qo)
 		return
 	}
 
@@ -280,18 +323,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // searchCluster serves one scatter-gather request. The request context
 // rides through to the shard sub-queries: a client that disconnects
 // cancels the stragglers at their next plan-operator boundary.
-func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []string, k int, trace bool) {
+func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []string, k int, trace bool, qo cluster.QueryOpts) {
 	var res *cluster.Result
 	var err error
 	if s.liveCluster != nil {
 		var lr *ingest.ClusterResult
-		if lr, err = s.liveCluster.SearchContext(r.Context(), terms); err == nil {
+		if lr, err = s.liveCluster.SearchOptsContext(r.Context(), terms, qo); err == nil {
 			res = lr.Result
 		}
 	} else {
-		res, err = s.cluster.Search(r.Context(), terms)
+		res, err = s.cluster.SearchWith(r.Context(), terms, qo)
 	}
 	if err != nil {
+		if overload.IsOverload(err) {
+			// Refused by overload control (brownout batch shed, admission
+			// shed on every shard, infeasible deadline): a deliberate 503,
+			// counted apart from errors.
+			s.sheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		s.errors.Add(1)
 		http.Error(w, "search failed: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -323,6 +375,15 @@ func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []s
 		Retries:       res.Stats.Retries,
 		Hedges:        res.Stats.Hedges,
 		Fallbacks:     res.Stats.Fallbacks,
+		DeadlineMS:    float64(res.Stats.Deadline) / float64(time.Millisecond),
+		DeadlineMiss:  res.Stats.DeadlineMiss,
+		BrownoutLevel: res.Stats.BrownoutLevel,
+		ForcedCPU:     res.Stats.ForcedCPU,
+		DegradedTopK:  res.Stats.DegradedTopK,
+		HedgeSkips:    res.Stats.HedgeSkips,
+	}
+	if res.Stats.Class == overload.Batch {
+		resp.Class = res.Stats.Class.String()
 	}
 	for i, h := range hits {
 		resp.Results[i] = HitJSON{DocID: h.DocID, Score: h.Score}
@@ -346,6 +407,11 @@ func (s *Server) searchCluster(w http.ResponseWriter, r *http.Request, terms []s
 				FallbackCPU: ss.Query.FallbackCPU,
 				Fault:       ss.Query.Fault,
 				EffectiveMS: ms(ss.Effective),
+
+				Shed:             ss.Shed,
+				BudgetRejected:   ss.BudgetRejected,
+				DeadlineExceeded: ss.DeadlineExceeded,
+				HedgeSkipped:     ss.HedgeSkipped,
 			}
 		}
 	}
@@ -495,6 +561,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			body["ingest_lag"] = lag
 			body["freshness_threshold"] = s.freshness
 		}
+		// Overload signals appear only when some overload control is
+		// configured, keeping the pre-overload body byte-identical.
+		if s.gate != nil || cl.OverloadEnabled() {
+			body["shed_rate"] = s.shedRate()
+		}
+		if cl.OverloadEnabled() {
+			body["brownout_level"] = cl.Overload().Brownout.Level
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
@@ -516,6 +590,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if isLive {
 		body["ingest_lag"] = lag
 		body["freshness_threshold"] = s.freshness
+	}
+	if s.gate != nil {
+		body["shed_rate"] = s.shedRate()
 	}
 	writeJSON(w, body)
 }
@@ -561,6 +638,10 @@ type StatsResponse struct {
 	// telemetry; omitted when the server wraps a read-only backend, so
 	// pre-ingest /statz output stays byte-identical.
 	Ingest *IngestStatsJSON `json:"ingest,omitempty"`
+	// Overload is the overload-control block (admission gate, deadline
+	// counters, brownout, retry budget); omitted when no overload control
+	// is configured, so pre-overload /statz output stays byte-identical.
+	Overload *OverloadJSON `json:"overload,omitempty"`
 }
 
 // IngestStatsJSON reports the live layer: writer generation, merge lag
@@ -728,6 +809,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:       n,
 		Errors:        s.errors.Load(),
 		MeanLatencyMS: mean,
+		Overload:      s.overloadJSON(),
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
