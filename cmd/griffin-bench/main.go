@@ -29,7 +29,7 @@ import (
 // experimentNames are the valid -only keys, in run order.
 var experimentNames = []string{
 	"table1", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos", "ingest", "overload",
+	"fig14", "fig15", "ablation", "load", "cache", "cluster", "device", "batch", "chaos", "ingest", "overload", "crash",
 }
 
 func main() {
@@ -239,6 +239,13 @@ func main() {
 		_, to, err := experiments.RunOverloadSweep(cfg)
 		exitOn(err)
 		emit(to)
+	}
+
+	if run("crash") {
+		fmt.Println("crashing durable engines at seeded points and timing recovery...")
+		_, tc, err := experiments.RunCrashSweep(cfg)
+		exitOn(err)
+		emit(tc)
 	}
 
 	if *jsonPath != "" {

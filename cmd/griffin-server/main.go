@@ -12,6 +12,7 @@
 //	griffin-server -index index.grif -shards 4 -replicas 2 -default-deadline 5ms -max-inflight 64
 //	griffin-server -index index.grif -ingest -merge-threshold 4096 -freshness-threshold 10000
 //	griffin-server -index index.grif -ingest -shards 4 -split-watermark 2000000
+//	griffin-server -index index.grif -ingest -wal-dir /var/lib/griffin/wal -checkpoint-every 10000
 //
 // With -shards N > 1 the loaded index is document-partitioned into N
 // shards (global BM25 statistics preserved, so results are identical to
@@ -62,6 +63,19 @@
 // when merge lag exceeds -freshness-threshold. In cluster mode
 // -split-watermark splits a shard whose live document count crosses it,
 // re-routing mid-flight. See docs/ingest.md.
+//
+// With -wal-dir (requires -ingest) ingest is durable: every mutation is
+// appended to a checksummed write-ahead log — one log per shard — before
+// POST /ingest acknowledges it, -wal-sync sets the appends-per-fsync
+// policy (1 = every append), and -checkpoint-every persists merged
+// checkpoints so startup recovery replays only the WAL suffix past the
+// newest valid checkpoint's watermark. Startup recovers the directory's
+// state (torn or corrupt log tails are truncated and logged; a
+// directory from a different history refuses to start), /statz's ingest
+// block grows a "wal" sub-block, /healthz reports "degraded" — still
+// serving reads — when a storage fault wedges the log, and the graceful
+// SIGINT/SIGTERM shutdown syncs the WAL after draining requests, so a
+// clean exit never loses an acknowledged write even at -wal-sync -1.
 //
 // Endpoints:
 //
@@ -121,6 +135,9 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "inject seeded faults at this base rate (cluster mode, 0 = off); mix: kernel/transfer/stall at rate, reset at rate/4, engine-error at rate/2")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-rate)")
 	ingestOn := flag.Bool("ingest", false, "accept live mutations on POST /ingest (delta index + background merge)")
+	walDir := flag.String("wal-dir", "", "durable ingest: write-ahead log + checkpoint directory; startup recovers its state (with -ingest; empty = in-memory only)")
+	walSync := flag.Int("wal-sync", 1, "WAL appends per fsync: 1 syncs every acknowledged mutation, N > 1 trades the sync tail for throughput, -1 defers to checkpoints and shutdown (with -wal-dir)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "persist a checkpoint after this many mutations so recovery replays only the WAL suffix (with -wal-dir; 0 = none)")
 	mergeThreshold := flag.Int("merge-threshold", 4096, "unmerged delta records making a merge due (with -ingest; 0 = manual merges only)")
 	mergeAuto := flag.Bool("merge-auto", true, "merge in the background when the delta crosses -merge-threshold (with -ingest)")
 	freshness := flag.Int("freshness-threshold", 0, "merge lag past which /healthz reports degraded (with -ingest; 0 = no check)")
@@ -215,9 +232,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "griffin-server: -split-watermark must be >= 0, got %d\n", *splitWatermark)
 		os.Exit(2)
 	}
+	if *walSync == 0 || *walSync < -1 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -wal-sync must be >= 1 or -1 (defer), got %d\n", *walSync)
+		os.Exit(2)
+	}
+	if *checkpointEvery < 0 {
+		fmt.Fprintf(os.Stderr, "griffin-server: -checkpoint-every must be >= 0, got %d\n", *checkpointEvery)
+		os.Exit(2)
+	}
+	if *walDir == "" && *checkpointEvery > 0 {
+		fmt.Fprintln(os.Stderr, "griffin-server: -checkpoint-every requires -wal-dir")
+		os.Exit(2)
+	}
 	if !*ingestOn {
 		if *freshness > 0 || *splitWatermark > 0 {
 			fmt.Fprintln(os.Stderr, "griffin-server: -freshness-threshold and -split-watermark require -ingest")
+			os.Exit(2)
+		}
+		if *walDir != "" {
+			fmt.Fprintln(os.Stderr, "griffin-server: -wal-dir requires -ingest")
 			os.Exit(2)
 		}
 	} else if *mergeAuto && *mergeThreshold == 0 {
@@ -269,20 +302,31 @@ func main() {
 		}
 		live := ""
 		if *ingestOn {
-			lc, err := ingest.NewCluster(ix, ingest.ClusterConfig{
-				Shards:         *shards,
-				Cluster:        ccfg,
-				MergeThreshold: *mergeThreshold,
-				AutoMerge:      *mergeAuto,
-				SplitWatermark: *splitWatermark,
+			lc, err := ingest.OpenCluster(ix, ingest.ClusterConfig{
+				Shards:          *shards,
+				Cluster:         ccfg,
+				MergeThreshold:  *mergeThreshold,
+				AutoMerge:       *mergeAuto,
+				SplitWatermark:  *splitWatermark,
+				WALDir:          *walDir,
+				WALSyncEvery:    *walSync,
+				CheckpointEvery: *checkpointEvery,
 			})
 			exitOn(err)
-			// Close after serve() drains HTTP: waits out in-flight
-			// background merges so no merge is torn by shutdown.
+			// Close after serve() drains HTTP: syncs the WAL, then waits
+			// out in-flight background merges so no merge is torn by
+			// shutdown — every acknowledged mutation is durable on exit.
 			defer lc.Close()
 			handler = server.NewLiveCluster(lc, *freshness)
 			live = fmt.Sprintf(", live ingest (merge at %d, auto=%v, watermark %d)",
 				*mergeThreshold, *mergeAuto, *splitWatermark)
+			if *walDir != "" {
+				st := lc.Stats()
+				log.Printf("griffin-server: durable ingest under %s (sync every %d, checkpoint every %d): recovered gen %d, %d replayed records, watermark %d, %d torn bytes truncated",
+					*walDir, *walSync, *checkpointEvery, st.Gen,
+					st.WAL.RecoveredRecords, st.WAL.CheckpointGen,
+					st.WAL.TruncatedBytes)
+			}
 		} else {
 			ixs, err := workload.PartitionIndex(ix, *shards)
 			exitOn(err)
@@ -312,15 +356,27 @@ func main() {
 			devs += fmt.Sprintf(", batching window=%v max=%d", *batchWindow, *batchMax)
 		}
 		if *ingestOn {
-			e, err := ingest.New(ix, ingest.Config{
-				Engine:         ecfg,
-				MergeThreshold: *mergeThreshold,
-				AutoMerge:      *mergeAuto,
+			e, err := ingest.Open(ix, ingest.Config{
+				Engine:          ecfg,
+				MergeThreshold:  *mergeThreshold,
+				AutoMerge:       *mergeAuto,
+				WALDir:          *walDir,
+				WALSyncEvery:    *walSync,
+				CheckpointEvery: *checkpointEvery,
 			})
 			exitOn(err)
-			defer e.Close() // after HTTP drain: waits out background merges
+			// After HTTP drain: syncs the WAL, then waits out background
+			// merges — every acknowledged mutation is durable on exit.
+			defer e.Close()
 			handler = server.NewLive(e, *freshness)
 			devs += fmt.Sprintf(", live ingest (merge at %d, auto=%v)", *mergeThreshold, *mergeAuto)
+			if *walDir != "" {
+				st := e.Stats()
+				log.Printf("griffin-server: durable ingest under %s (sync every %d, checkpoint every %d): recovered gen %d, %d replayed records, watermark %d, %d torn bytes truncated",
+					*walDir, *walSync, *checkpointEvery, st.Gen,
+					st.WAL.RecoveredRecords, st.WAL.CheckpointGen,
+					st.WAL.TruncatedBytes)
+			}
 		} else {
 			engine, err := core.New(ix, ecfg)
 			exitOn(err)

@@ -52,6 +52,16 @@ const (
 	// EngineError fails a whole sub-query at admission (a crashed or
 	// wedged replica process, before any device work is attempted).
 	EngineError
+	// TornWrite persists only a prefix of one storage record: the frame
+	// reaches the disk surface cut mid-record, the canonical power-loss
+	// artifact a WAL reader must truncate at.
+	TornWrite
+	// ShortWrite persists only a prefix of the bytes a sync was asked to
+	// flush — several buffered records survive, the tail does not.
+	ShortWrite
+	// BitFlip corrupts one bit of a storage record after the length
+	// prefix, the silent-corruption class checksums exist to catch.
+	BitFlip
 
 	numKinds
 )
@@ -69,6 +79,12 @@ func (k Kind) String() string {
 		return "shard-stall"
 	case EngineError:
 		return "engine-error"
+	case TornWrite:
+		return "torn-write"
+	case ShortWrite:
+		return "short-write"
+	case BitFlip:
+		return "bit-flip"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
@@ -153,6 +169,34 @@ func (e *EngineFault) Error() string {
 	return fmt.Sprintf("fault: injected engine-error at %s", e.Site)
 }
 
+// StorageFault is the error an injected storage-level fault produces: a
+// WAL append or sync (or a checkpoint write) that corrupted what it put
+// on disk. Unlike device faults — which the engine heals by re-planning —
+// a storage fault is not retryable: the corrupt bytes are already on the
+// durable surface, so the log must wedge rather than append acknowledged
+// records after a record recovery will truncate at.
+type StorageFault struct {
+	Kind Kind
+	Site string
+	// Frac is a deterministic value in [0,1) hashed from the same
+	// (seed, site, seq) stream as the firing decision; the storage layer
+	// uses it to pick the torn length or the flipped bit, so the
+	// corruption itself — not just its occurrence — is reproducible.
+	Frac float64
+}
+
+// Error implements error.
+func (e *StorageFault) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s", e.Kind, e.Site)
+}
+
+// IsStorageFault reports whether err is (or wraps) an injected storage
+// fault.
+func IsStorageFault(err error) bool {
+	var sf *StorageFault
+	return errors.As(err, &sf)
+}
+
 // IsDeviceFault reports whether err is (or wraps) an injected device
 // fault — the trigger for the engine's CPU fallback.
 func IsDeviceFault(err error) bool {
@@ -185,12 +229,13 @@ func DeviceSite(base string, dev, devices int) string {
 // per channel, the in-progress reset window, and the site's slice of the
 // fault log.
 type siteState struct {
-	deviceSeq int64 // device work-item submissions seen
-	querySeq  int64 // sub-query admissions seen
-	resetAt   time.Duration
-	resetTill time.Duration
-	resetLive bool
-	events    []Event
+	deviceSeq  int64 // device work-item submissions seen
+	querySeq   int64 // sub-query admissions seen
+	storageSeq int64 // storage operations (appends, syncs, checkpoints) seen
+	resetAt    time.Duration
+	resetTill  time.Duration
+	resetLive  bool
+	events     []Event
 }
 
 // Injector evaluates a Plan at injection points. All methods are safe
@@ -341,6 +386,43 @@ func (in *Injector) AdmitQuery(site string, at time.Duration) (stall time.Durati
 		return d, nil
 	}
 	return 0, nil
+}
+
+// StorageOp evaluates the storage-level faults for one operation at
+// site — a WAL append (site "<base>.wal.append"), a WAL sync
+// ("<base>.wal.sync"), or a checkpoint write ("<base>.ckpt"). Each site
+// draws its own opportunity stream, so the decision depends only on the
+// modeled sequence of storage operations, never on goroutine
+// interleaving. kinds names the failure modes this site class can
+// exhibit (an append can tear or flip, a sync can come up short); with
+// none given all three storage kinds are drawn. Kinds are drawn in the
+// given order and the first live rule that fires wins. Returns nil when
+// nothing fires.
+func (in *Injector) StorageOp(site string, at time.Duration, kinds ...Kind) *StorageFault {
+	if in == nil {
+		return nil
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{TornWrite, ShortWrite, BitFlip}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(site)
+	seq := s.storageSeq
+	s.storageSeq++
+	for _, k := range kinds {
+		if _, ok := in.fires(site, k, seq); ok {
+			in.record(site, s, seq, k, at)
+			// The fraction is hashed with the kind offset past numKinds so
+			// it is decorrelated from every firing decision at this site.
+			return &StorageFault{
+				Kind: k,
+				Site: site,
+				Frac: hashUnit(in.plan.Seed, site, uint64(k)+uint64(numKinds), seq),
+			}
+		}
+	}
+	return nil
 }
 
 // Log returns the complete injected-fault log, sorted by (site, seq,

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStorageOpNilInjector(t *testing.T) {
+	var in *Injector
+	if f := in.StorageOp("ingest.wal.append", 0); f != nil {
+		t.Fatalf("nil injector injected storage fault %v", f)
+	}
+}
+
+func TestStorageOpKindsAndDeterminism(t *testing.T) {
+	plan := Plan{Seed: 11, Rules: []Rule{
+		{Kind: TornWrite, Rate: 0.05},
+		{Kind: ShortWrite, Rate: 0.05},
+		{Kind: BitFlip, Rate: 0.05},
+	}}
+	run := func() []StorageFault {
+		in := NewInjector(plan)
+		var fired []StorageFault
+		for i := 0; i < 2000; i++ {
+			if f := in.StorageOp("ingest.wal.append", 0); f != nil {
+				fired = append(fired, *f)
+			}
+		}
+		return fired
+	}
+	a := run()
+	bb := run()
+	if len(a) == 0 {
+		t.Fatalf("no storage faults fired at 5%% rates over 2000 ops")
+	}
+	if len(a) != len(bb) {
+		t.Fatalf("storage fault stream not reproducible: %d vs %d", len(a), len(bb))
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("fault %d differs across runs: %+v vs %+v", i, a[i], bb[i])
+		}
+		if a[i].Frac < 0 || a[i].Frac >= 1 {
+			t.Fatalf("fault %d Frac out of range: %v", i, a[i].Frac)
+		}
+		switch a[i].Kind {
+		case TornWrite, ShortWrite, BitFlip:
+		default:
+			t.Fatalf("fault %d has non-storage kind %v", i, a[i].Kind)
+		}
+	}
+}
+
+func TestStorageOpWindowPinpointsOneOp(t *testing.T) {
+	// A Rate-1 rule with a one-op window must fire exactly at that
+	// opportunity — the mechanism crash-point tests use to place a torn
+	// write at a chosen record.
+	in := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Kind: TornWrite, Rate: 1, After: 7, Until: 8},
+	}})
+	for i := 0; i < 20; i++ {
+		f := in.StorageOp("s0.wal.append", 0)
+		if (i == 7) != (f != nil) {
+			t.Fatalf("op %d: fault=%v, want fired only at op 7", i, f)
+		}
+		if f != nil && f.Kind != TornWrite {
+			t.Fatalf("op %d fired %v, want torn-write", i, f.Kind)
+		}
+	}
+}
+
+func TestStorageOpSitesIndependent(t *testing.T) {
+	// Two sites draw independent opportunity streams: interleaving ops
+	// across sites must not shift either site's decisions.
+	plan := Plan{Seed: 5, Rules: []Rule{{Kind: BitFlip, Rate: 0.1}}}
+	solo := NewInjector(plan)
+	var want []int
+	for i := 0; i < 500; i++ {
+		if solo.StorageOp("a.wal.append", 0) != nil {
+			want = append(want, i)
+		}
+	}
+	mixed := NewInjector(plan)
+	var got []int
+	for i := 0; i < 500; i++ {
+		mixed.StorageOp("b.wal.append", 0) // interleave a second site
+		if mixed.StorageOp("a.wal.append", 0) != nil {
+			got = append(got, i)
+		}
+	}
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("site a's stream shifted by site b's traffic: %v vs %v", want, got)
+	}
+}
+
+func TestStorageKindsDoNotShiftDeviceStreams(t *testing.T) {
+	// Appending TornWrite/ShortWrite/BitFlip to the Kind enum must not
+	// move existing device-fault decisions: the kinds hash by value and
+	// the new ones were appended after EngineError.
+	if TornWrite <= EngineError || ShortWrite <= TornWrite || BitFlip <= ShortWrite {
+		t.Fatalf("storage kinds not appended after EngineError: %d %d %d",
+			TornWrite, ShortWrite, BitFlip)
+	}
+	// Pin the absolute enum values: reordering would silently reshuffle
+	// every committed seeded fault stream.
+	if KernelLaunch != 0 || TransferError != 1 || DeviceReset != 2 ||
+		ShardStall != 3 || EngineError != 4 ||
+		TornWrite != 5 || ShortWrite != 6 || BitFlip != 7 {
+		t.Fatalf("Kind enum values moved")
+	}
+}
+
+func TestStorageFaultErrorAndPredicate(t *testing.T) {
+	err := error(&StorageFault{Kind: TornWrite, Site: "ingest.wal.append", Frac: 0.5})
+	if !IsStorageFault(err) {
+		t.Fatalf("IsStorageFault(StorageFault) = false")
+	}
+	if IsStorageFault(fmt.Errorf("plain")) {
+		t.Fatalf("IsStorageFault(plain error) = true")
+	}
+	if IsDeviceFault(err) || IsEngineFault(err) {
+		t.Fatalf("storage fault classified as device/engine fault")
+	}
+	wrapped := fmt.Errorf("append: %w", err)
+	if !IsStorageFault(wrapped) {
+		t.Fatalf("IsStorageFault(wrapped) = false")
+	}
+	want := "fault: injected torn-write at ingest.wal.append"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

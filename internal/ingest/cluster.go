@@ -14,6 +14,7 @@ import (
 	"griffin/internal/index"
 	"griffin/internal/kernels"
 	"griffin/internal/rank"
+	"griffin/internal/wal"
 	"griffin/internal/workload"
 )
 
@@ -46,6 +47,19 @@ type ClusterConfig struct {
 	// MergeRetries bounds abort→retry attempts per merge
 	// (0 = DefaultMergeRetries; negative = no retries).
 	MergeRetries int
+	// WALDir enables durability: every accepted mutation appends to a
+	// per-shard write-ahead log under this directory before the caller
+	// sees success, and OpenCluster recovers the directory's state.
+	// Empty runs the cluster purely in memory (NewCluster exactly).
+	WALDir string
+	// WALSyncEvery is the per-shard appends-per-fsync policy: 0 (unset)
+	// syncs every append — the durable default — negative defers syncing
+	// to checkpoints and close, n > 0 syncs every n appends.
+	WALSyncEvery int
+	// CheckpointEvery persists a background checkpoint after that many
+	// accepted mutations (0 = explicit Checkpoint calls only). Requires
+	// WALDir.
+	CheckpointEvery int
 }
 
 // shardState is one shard's writer-side state: its current main segment
@@ -144,6 +158,12 @@ type Cluster struct {
 	bg        sync.WaitGroup
 	closing   atomic.Bool
 
+	// store is the write-ahead log (nil without WALDir). Appends happen
+	// under c.mu before a mutation is acknowledged.
+	store     *wal.Store
+	ckpting   atomic.Bool
+	sinceCkpt atomic.Int64
+
 	statsMu sync.Mutex
 	st      ClusterStats
 }
@@ -175,6 +195,9 @@ type ClusterStats struct {
 	// shard (the split watermark's view).
 	ShardDocs  []int `json:"shard_docs"`
 	ShardDelta []int `json:"shard_delta"`
+	// WAL is the durability surface (nil without a WAL): append/sync
+	// counters aggregated across shard logs plus recovery accounting.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Lag returns the pending records not yet folded into shard segments —
@@ -255,8 +278,14 @@ func (c *Cluster) newTopo(global *index.Index, n int) (*topo, error) {
 }
 
 // Close drains background merges/splits, waits out in-flight queries,
-// and releases every shard engine's device state.
+// and releases every shard engine's device state. With a WAL attached,
+// Close is a durability barrier: every acknowledged mutation is synced
+// to disk before Close returns, so a clean shutdown loses nothing even
+// under a deferred-sync policy.
 func (c *Cluster) Close() {
+	if c.store != nil {
+		c.store.Sync() // flush before draining; store.Close finishes the job
+	}
 	c.closing.Store(true)
 	c.bg.Wait()
 	c.gate.Lock()
@@ -264,6 +293,7 @@ func (c *Cluster) Close() {
 	c.t.c.Close()
 	c.mu.Unlock()
 	c.gate.Unlock()
+	c.store.Close()
 }
 
 // Shards returns the current shard count.
@@ -330,48 +360,18 @@ func (c *Cluster) mutate(docID uint32, tokens []string, kind mutKind) error {
 
 	t := c.t
 	s := workload.ShardOf(docID, t.n)
-	sh := t.shards[s]
-	c.gen++
-	rec := &docRecord{gen: c.gen}
-	if kind == mutDelete {
-		rec.deleted = true
-	} else {
-		rec.tf, rec.length = tokenCounts(tokens)
-	}
-	sh.d.gen = c.gen
-	sh.d.put(docID, rec)
-
-	// Maintain the exact global aggregates (index.Builder arithmetic):
-	// subtract the old length, add the new, track max-live-docID+1.
-	for int(docID) >= len(c.liveLens) {
-		c.liveLens = append(c.liveLens, make([]uint32, int(docID)-len(c.liveLens)+1)...)
-	}
-	old := c.liveLens[docID]
-	if old > 0 {
-		c.lenSum -= uint64(old)
-		c.lenCnt--
-	}
-	if kind == mutDelete {
-		c.liveLens[docID] = 0
-		sh.live--
-		if int(docID)+1 == c.numDocs {
-			d := c.numDocs - 1
-			for d >= 0 && c.liveLens[d] == 0 {
-				d--
-			}
-			c.numDocs = d + 1
-		}
-	} else {
-		c.liveLens[docID] = rec.length
-		c.lenSum += uint64(rec.length)
-		c.lenCnt++
-		if old == 0 {
-			sh.live++
-		}
-		if int(docID)+1 > c.numDocs {
-			c.numDocs = int(docID) + 1
+	// Durability barrier: the record must be in the shard's WAL before
+	// the mutation is acknowledged. A failed append (wedged log, injected
+	// storage fault) rejects the mutation with no state change.
+	if c.store != nil {
+		if err := c.store.Append(s, wal.Record{
+			Gen: c.gen + 1, Op: walOp(kind), DocID: docID, Tokens: tokens,
+		}); err != nil {
+			c.mu.Unlock()
+			return err
 		}
 	}
+	sh := c.applyLocked(t, s, docID, tokens, kind, c.gen+1)
 
 	c.stamp++
 	c.stampA.Store(c.stamp)
@@ -408,7 +408,66 @@ func (c *Cluster) mutate(docID uint32, tokens []string, kind mutKind) error {
 			_ = c.MergeShard(s) // surfaced via ClusterStats.Aborts
 		}()
 	}
+	if c.store != nil && c.cfg.CheckpointEvery > 0 &&
+		c.sinceCkpt.Add(1) >= int64(c.cfg.CheckpointEvery) &&
+		!c.closing.Load() && c.ckpting.CompareAndSwap(false, true) {
+		c.bg.Add(1)
+		go func() {
+			defer c.bg.Done()
+			defer c.ckpting.Store(false)
+			_ = c.Checkpoint() // failures surface via the WAL stats block
+		}()
+	}
 	return nil
+}
+
+// applyLocked commits one accepted mutation's state change at generation
+// gen: the shard delta write plus the exact global aggregate bookkeeping
+// (index.Builder arithmetic — subtract the old length, add the new,
+// track max-live-docID+1). Caller holds c.mu and guarantees the mutation
+// was validated (mutate) or previously acknowledged (WAL replay).
+func (c *Cluster) applyLocked(t *topo, s int, docID uint32, tokens []string, kind mutKind, gen uint64) *shardState {
+	sh := t.shards[s]
+	c.gen = gen
+	rec := &docRecord{gen: gen}
+	if kind == mutDelete {
+		rec.deleted = true
+	} else {
+		rec.tf, rec.length = tokenCounts(tokens)
+	}
+	sh.d.gen = gen
+	sh.d.put(docID, rec)
+
+	for int(docID) >= len(c.liveLens) {
+		c.liveLens = append(c.liveLens, make([]uint32, int(docID)-len(c.liveLens)+1)...)
+	}
+	old := c.liveLens[docID]
+	if old > 0 {
+		c.lenSum -= uint64(old)
+		c.lenCnt--
+	}
+	if kind == mutDelete {
+		c.liveLens[docID] = 0
+		sh.live--
+		if int(docID)+1 == c.numDocs {
+			d := c.numDocs - 1
+			for d >= 0 && c.liveLens[d] == 0 {
+				d--
+			}
+			c.numDocs = d + 1
+		}
+	} else {
+		c.liveLens[docID] = rec.length
+		c.lenSum += uint64(rec.length)
+		c.lenCnt++
+		if old == 0 {
+			sh.live++
+		}
+		if int(docID)+1 > c.numDocs {
+			c.numDocs = int(docID) + 1
+		}
+	}
+	return sh
 }
 
 // publishLocked freezes the current per-shard views and publishes the
@@ -788,6 +847,13 @@ func (c *Cluster) rebuild(n int) error {
 	if err != nil {
 		return err
 	}
+	// Grow the WAL before the routing swap: the manifest commits the new
+	// shard count first, so a crash between the two recovers with every
+	// already-written record still reachable (grow-only, nil-safe).
+	if err := c.store.Reshard(n); err != nil {
+		t2.c.Close()
+		return err
+	}
 
 	c.gate.Lock()
 	c.t = t2
@@ -910,5 +976,9 @@ func (c *Cluster) Stats() ClusterStats {
 		}
 	}
 	c.mu.Unlock()
+	if c.store != nil {
+		w := c.store.Stats()
+		st.WAL = &w
+	}
 	return st
 }

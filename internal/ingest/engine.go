@@ -13,6 +13,7 @@ import (
 	"griffin/internal/hwmodel"
 	"griffin/internal/index"
 	"griffin/internal/rank"
+	"griffin/internal/wal"
 )
 
 // DefaultMergeRetries bounds how many times an aborted merge (injected
@@ -46,6 +47,20 @@ type Config struct {
 	// MergeRetries bounds abort→retry attempts per merge
 	// (0 = DefaultMergeRetries; negative = no retries).
 	MergeRetries int
+	// WALDir enables durability (Open only): every accepted mutation is
+	// appended to a write-ahead log in this directory before it is
+	// acknowledged, and startup recovers checkpoint + WAL suffix. Empty
+	// disables the WAL entirely — New and Open are then identical.
+	WALDir string
+	// WALSyncEvery is the fsync cadence in appends: 0 (unset) defaults
+	// to 1 — every acknowledged mutation is durable — and negative syncs
+	// only at checkpoints and shutdown (fast, loses the unsynced tail on
+	// crash).
+	WALSyncEvery int
+	// CheckpointEvery persists a checkpoint after this many accepted
+	// mutations (0 = only explicit Checkpoint calls). Checkpoints bound
+	// recovery replay time; between them recovery replays the suffix.
+	CheckpointEvery int
 }
 
 // segment is one immutable main-index incarnation plus the engine
@@ -116,6 +131,10 @@ type Stats struct {
 	MergeDevice time.Duration `json:"merge_device_ns"`
 	MergeCPU    time.Duration `json:"merge_cpu_ns"`
 	MergeStall  time.Duration `json:"merge_stall_ns"`
+	// WAL is the durability telemetry: appends, syncs, checkpoints, and
+	// recovery counters. Nil when the engine runs without a write-ahead
+	// log, so the /statz body stays byte-identical with durability off.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Lag returns the mutations not yet covered by a committed merge.
@@ -137,13 +156,20 @@ type Engine struct {
 	snap atomic.Pointer[snapshot]
 	gen  atomic.Uint64 // mirror of d.gen for lock-free staleness checks
 
-	// mergeMu serializes merges (one background merge at a time).
+	// mergeMu serializes merges (one background merge at a time) and
+	// checkpoints (which fold the delta through the same path).
 	mergeMu sync.Mutex
 	merging atomic.Bool
 	bg      sync.WaitGroup
 	closing atomic.Bool
 	statsMu sync.Mutex
 	st      Stats
+
+	// store is the write-ahead log (nil without -wal-dir: the in-memory
+	// engine, byte-identical to pre-durability behaviour).
+	store     *wal.Store
+	ckpting   atomic.Bool
+	sinceCkpt atomic.Int64
 }
 
 // New builds a live-ingestion engine over a seed index. The seed may be
@@ -197,10 +223,19 @@ func detectCodec(ix *index.Index) index.Codec {
 }
 
 // Close drains in-flight background merges and releases the engine's
-// device state. Safe to call once; concurrent with queries.
+// device state. Safe to call once; concurrent with queries. With a WAL
+// the durability barrier comes first: every acknowledged mutation is
+// synced to disk before background work is drained, so a SIGTERM that
+// reaches Close never loses an acknowledged write.
 func (e *Engine) Close() {
+	if e.store != nil {
+		e.store.Sync()
+	}
 	e.closing.Store(true)
 	e.bg.Wait()
+	if e.store != nil {
+		e.store.Close()
+	}
 	// Drop the "current" reference; the snapshot (and its segment's
 	// caches) die when the last pinned query finishes.
 	if s := e.snap.Load(); s != nil {
@@ -325,6 +360,18 @@ func (e *Engine) mutate(docID uint32, tokens []string, kind mutKind) error {
 			return mutErrf("ingest: delete doc %d: not found", docID)
 		}
 	}
+	// Durability barrier: the record must be on the log before the
+	// mutation is acknowledged. A failed append (storage fault, wedged
+	// log) leaves the in-memory state untouched and the caller sees the
+	// error — the mutation never happened.
+	if e.store != nil {
+		if err := e.store.Append(0, wal.Record{
+			Gen: e.d.gen + 1, Op: walOp(kind), DocID: docID, Tokens: tokens,
+		}); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	}
 	e.d.gen++
 	rec := &docRecord{gen: e.d.gen}
 	if kind == mutDelete {
@@ -355,6 +402,16 @@ func (e *Engine) mutate(docID uint32, tokens []string, kind mutKind) error {
 			defer e.bg.Done()
 			defer e.merging.Store(false)
 			_ = e.Merge() // surfaced via Stats.Aborts; delta stays intact on failure
+		}()
+	}
+	if e.store != nil && e.cfg.CheckpointEvery > 0 &&
+		e.sinceCkpt.Add(1) >= int64(e.cfg.CheckpointEvery) &&
+		!e.closing.Load() && e.ckpting.CompareAndSwap(false, true) {
+		e.bg.Add(1)
+		go func() {
+			defer e.bg.Done()
+			defer e.ckpting.Store(false)
+			_ = e.Checkpoint() // failure keeps the WAL authoritative
 		}()
 	}
 	return nil
@@ -458,5 +515,9 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.mu.Unlock()
+	if e.store != nil {
+		w := e.store.Stats()
+		st.WAL = &w
+	}
 	return st
 }

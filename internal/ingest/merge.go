@@ -31,6 +31,14 @@ func (e *Engine) merge(arrival time.Duration, timed bool) error {
 	if e.closing.Load() {
 		return ErrClosed
 	}
+	return e.mergeLocked(arrival, timed)
+}
+
+// mergeLocked is the abort-retry loop around one merge. Caller holds
+// mergeMu (Merge/MergeAt take it themselves; Checkpoint holds it across
+// the merge and the checkpoint write so the persisted segment is the
+// one the watermark describes).
+func (e *Engine) mergeLocked(arrival time.Duration, timed bool) error {
 	attempts := e.retries + 1
 	if attempts < 1 {
 		attempts = 1

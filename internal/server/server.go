@@ -19,10 +19,12 @@ import (
 
 	"griffin/internal/cluster"
 	"griffin/internal/core"
+	"griffin/internal/fault"
 	"griffin/internal/gpu"
 	"griffin/internal/index"
 	"griffin/internal/ingest"
 	"griffin/internal/overload"
+	"griffin/internal/wal"
 )
 
 // Server routes search traffic to an engine or a cluster, optionally
@@ -484,6 +486,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ingest.ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
+	case fault.IsStorageFault(err):
+		// The WAL refused the record (injected storage fault / wedged
+		// log): the mutation is NOT durable and was not applied. 503 —
+		// the durability layer, not the request, is at fault.
+		s.errors.Add(1)
+		http.Error(w, "ingest unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
 	default:
 		s.errors.Add(1)
 		http.Error(w, "ingest failed: "+err.Error(), http.StatusInternalServerError)
@@ -522,6 +531,19 @@ func (s *Server) ingestLag() (uint64, bool) {
 	return 0, false
 }
 
+// walWedged returns the storage fault that wedged the live backend's
+// WAL, or nil. A wedged backend keeps serving reads but refuses writes
+// — /healthz reports it degraded, not unhealthy.
+func (s *Server) walWedged() error {
+	switch {
+	case s.live != nil:
+		return s.live.Wedged()
+	case s.liveCluster != nil:
+		return s.liveCluster.Wedged()
+	}
+	return nil
+}
+
 // handleHealth serves GET /healthz. In cluster mode the status reflects
 // breaker-level degradation: "ok" when every shard is reachable,
 // "degraded" when some are not, and a 503 with status "unhealthy" when a
@@ -532,6 +554,7 @@ func (s *Server) ingestLag() (uint64, bool) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	lag, isLive := s.ingestLag()
 	stale := isLive && s.freshness > 0 && lag > uint64(s.freshness)
+	wedged := s.walWedged()
 	if cl := s.cl(); cl != nil {
 		h := cl.Health()
 		status := "ok"
@@ -540,7 +563,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		case !h.Healthy:
 			status = "unhealthy"
 			code = http.StatusServiceUnavailable
-		case h.Unreachable > 0 || stale:
+		case h.Unreachable > 0 || stale || wedged != nil:
 			status = "degraded"
 		}
 		shards := make([]ShardHealthJSON, len(h.Shards))
@@ -561,6 +584,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			body["ingest_lag"] = lag
 			body["freshness_threshold"] = s.freshness
 		}
+		if wedged != nil {
+			body["wal_wedged"] = wedged.Error()
+		}
 		// Overload signals appear only when some overload control is
 		// configured, keeping the pre-overload body byte-identical.
 		if s.gate != nil || cl.OverloadEnabled() {
@@ -577,7 +603,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := "ok"
-	if stale {
+	if stale || wedged != nil {
 		status = "degraded"
 	}
 	eng := s.eng()
@@ -590,6 +616,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if isLive {
 		body["ingest_lag"] = lag
 		body["freshness_threshold"] = s.freshness
+	}
+	if wedged != nil {
+		body["wal_wedged"] = wedged.Error()
 	}
 	if s.gate != nil {
 		body["shed_rate"] = s.shedRate()
@@ -668,13 +697,17 @@ type IngestStatsJSON struct {
 	MergeStallMS  float64 `json:"merge_stall_ms,omitempty"`
 	// FreshnessThreshold is the merge-lag bound past which /healthz
 	// reports degraded (0 = no check).
-	FreshnessThreshold int `json:"freshness_threshold,omitempty"`
-	Shards             int `json:"shards,omitempty"`
-	LiveDocs           int `json:"live_docs,omitempty"`
+	FreshnessThreshold int   `json:"freshness_threshold,omitempty"`
+	Shards             int   `json:"shards,omitempty"`
+	LiveDocs           int   `json:"live_docs,omitempty"`
 	Rebuilds           int64 `json:"rebuilds,omitempty"`
 	Splits             int64 `json:"splits,omitempty"`
 	ShardDocs          []int `json:"shard_docs,omitempty"`
 	ShardDelta         []int `json:"shard_delta,omitempty"`
+	// WAL is the durability block (write-ahead log counters plus the
+	// last recovery's accounting); omitted when the backend runs without
+	// a WAL, so in-memory /statz output stays byte-identical.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // SelfHealJSON reports the cluster's lifetime self-healing counters.
@@ -825,6 +858,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MergeDeviceMS: ms(st.MergeDevice), MergeCPUMS: ms(st.MergeCPU),
 			MergeStallMS:       ms(st.MergeStall),
 			FreshnessThreshold: s.freshness,
+			WAL:                st.WAL,
 		}
 	case s.liveCluster != nil:
 		st := s.liveCluster.Stats()
@@ -840,6 +874,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shards:             st.Shards, LiveDocs: st.LiveDocs,
 			Rebuilds: st.Rebuilds, Splits: st.Splits,
 			ShardDocs: st.ShardDocs, ShardDelta: st.ShardDelta,
+			WAL: st.WAL,
 		}
 	}
 
